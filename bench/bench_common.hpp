@@ -1,0 +1,63 @@
+// Shared helpers for the experiment benches. Each bench binary
+// regenerates one figure/table of the paper (see DESIGN.md §4): it
+// builds a rack, drives a workload, and prints the series as a table.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/controller.hpp"
+#include "fabric/builders.hpp"
+#include "sim/log.hpp"
+#include "telemetry/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/mapreduce.hpp"
+
+namespace rsf::bench {
+
+/// Benches run quiet: component logs off, results via tables only.
+inline void quiet_logs() { rsf::sim::LogConfig::set_level(rsf::sim::LogLevel::kOff); }
+
+inline void print_header(const char* id, const char* paper_artifact, const char* claim) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s — reproduces %s\n", id, paper_artifact);
+  std::printf("# Paper claim: %s\n", claim);
+  std::printf("################################################################\n");
+}
+
+/// Aggregate traffic metrics over a finished generator run.
+struct RunMetrics {
+  double goodput_gbps = 0;
+  double fct_p50_us = 0;
+  double fct_p99_us = 0;
+  double pkt_p50_us = 0;
+  double pkt_p99_us = 0;
+  double mean_hops = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t failed = 0;
+};
+
+inline RunMetrics collect(const workload::FlowGenerator& gen, const fabric::Network& net) {
+  RunMetrics m;
+  m.goodput_gbps = gen.goodput_gbps();
+  const auto fct = gen.completion_histogram();
+  m.fct_p50_us = fct.p50() * 1e-6;  // ps -> us
+  m.fct_p99_us = fct.p99() * 1e-6;
+  m.pkt_p50_us = net.packet_latency().p50() * 1e-6;
+  m.pkt_p99_us = net.packet_latency().p99() * 1e-6;
+  m.mean_hops = net.hop_counts().mean();
+  m.flows = gen.flows_generated();
+  m.failed = net.flows_failed();
+  for (const auto& r : gen.results()) m.retransmits += r.retransmits;
+  return m;
+}
+
+inline core::CrcController make_crc(rsf::sim::Simulator& sim, fabric::Rack& rack,
+                                    core::CrcConfig cfg = {}) {
+  return core::CrcController(&sim, rack.plant.get(), rack.engine.get(),
+                             rack.topology.get(), rack.router.get(), rack.network.get(),
+                             cfg);
+}
+
+}  // namespace rsf::bench

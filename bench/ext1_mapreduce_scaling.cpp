@@ -1,0 +1,110 @@
+// EXT1 — the paper's §2 motivating example, quantified.
+//
+// "Consider a MapReduce operation that requires transmission from all
+// nodes. Since a reducer has to wait for data from all mappers, the
+// slowest link pulls down the performance of an entire system."
+//
+// We run an all-to-all shuffle (mappers = top row, reducers = bottom
+// row) over increasing rack sizes and compare three fabrics:
+//   grid-static : dimension-order routing, no CRC (the baseline rack);
+//   grid-crc    : CRC price routing on the same grid;
+//   torus-crc   : CRC converts the grid to a torus first (Figure 2).
+// Reported: job completion (the barrier) and the straggler ratio
+// (max flow / median flow) — the slowest-link effect itself.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rsf;
+using namespace rsf::sim::literals;
+using phy::DataSize;
+using sim::SimTime;
+
+struct Row {
+  double job_ms = 0;
+  double straggler = 0;
+};
+
+Row run_case(int side, bool use_crc, bool to_torus, phy::DataSize bytes_per_pair) {
+  sim::Simulator sim;
+  fabric::RackParams params;
+  params.width = side;
+  params.height = side;
+  params.routing =
+      use_crc ? fabric::RoutingPolicy::kMinCost : fabric::RoutingPolicy::kDimensionOrder;
+  fabric::Rack rack = fabric::build_grid(&sim, params);
+
+  std::optional<core::CrcController> crc;
+  if (use_crc) {
+    core::CrcConfig cfg;
+    cfg.epoch = 100_us;
+    crc.emplace(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
+                rack.router.get(), rack.network.get(), cfg);
+    crc->start();
+    if (to_torus) {
+      bool done = false;
+      crc->request_grid_to_torus([&](const core::TopologyPlanner::Report&) { done = true; });
+      sim.run_until();
+      if (!done) return {};
+    }
+  }
+
+  workload::ShuffleConfig cfg;
+  for (int x = 0; x < side; ++x) {
+    cfg.mappers.push_back(rack.node_at(x, 0));
+    cfg.reducers.push_back(rack.node_at(x, side - 1));
+  }
+  cfg.bytes_per_pair = bytes_per_pair;
+  cfg.start = sim.now();
+  workload::ShuffleJob job(&sim, rack.network.get(), cfg);
+  std::optional<workload::ShuffleResult> result;
+  job.run([&](const workload::ShuffleResult& r) { result = r; });
+  sim.run_until();
+  if (crc) crc->stop();
+  sim.run_until();
+
+  Row row;
+  if (result) {
+    row.job_ms = result->job_completion.ms();
+    row.straggler = result->straggler_ratio();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  rsf::bench::quiet_logs();
+  rsf::bench::print_header(
+      "EXT1", "the §2 MapReduce motivation",
+      "the slowest link gates the job; the adaptive fabric shortens the tail");
+  for (double kb : {4.0, 128.0}) {
+    const auto size = DataSize::kilobytes(kb);
+    telemetry::Table table(
+        std::string("Shuffle completion vs rack size, ") + size.to_string() +
+            "/pair (row -> row all-to-all)",
+        {"nodes", "grid-static_ms", "straggler", "grid-crc_ms", "straggler ",
+         "torus-crc_ms", "straggler  ", "speedup"});
+    for (int side : {4, 6, 8}) {
+      const Row grid_static = run_case(side, /*use_crc=*/false, /*to_torus=*/false, size);
+      const Row grid_crc = run_case(side, /*use_crc=*/true, /*to_torus=*/false, size);
+      const Row torus_crc = run_case(side, /*use_crc=*/true, /*to_torus=*/true, size);
+      table.row()
+          .cell(side * side)
+          .cell(grid_static.job_ms, 3)
+          .cell(grid_static.straggler, 2)
+          .cell(grid_crc.job_ms, 3)
+          .cell(grid_crc.straggler, 2)
+          .cell(torus_crc.job_ms, 3)
+          .cell(torus_crc.straggler, 2)
+          .cell(grid_static.job_ms / std::max(1e-9, torus_crc.job_ms), 2);
+    }
+    table.print();
+  }
+  std::printf(
+      "Shape check: for the latency-bound shuffle (4KB/pair) the torus wins and the\n"
+      "speedup grows with rack size (wraparounds shorten exactly the paths that\n"
+      "scale worst). For the bandwidth-bound shuffle (128KB/pair) the torus only\n"
+      "ties: the conversion reorganises lanes, it cannot mint new capacity.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// MICRO — google-benchmark microbenchmarks of the hot substrate paths.
+//
+// Not a paper artefact: these guard the simulator's own performance so
+// the experiment benches stay fast enough to sweep (a rack-scale run
+// pushes millions of events through these paths).
+#include <benchmark/benchmark.h>
+
+#include "fabric/builders.hpp"
+#include "phy/fec.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace {
+
+using namespace rsf;
+using namespace rsf::sim::literals;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(sim::SimTime::nanoseconds(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run_until());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_SimulatorSelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::function<void()> tick = [&] {
+      if (sim.now() < 10_us) sim.schedule_after(10_ns, tick);
+    };
+    sim.schedule_at(sim::SimTime::zero(), tick);
+    benchmark::DoNotOptimize(sim.run_until());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorSelfRescheduling);
+
+void BM_RandomExponential(benchmark::State& state) {
+  sim::RandomStream rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(100.0));
+  }
+}
+BENCHMARK(BM_RandomExponential);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  telemetry::Histogram h;
+  sim::RandomStream rng(2);
+  for (auto _ : state) {
+    h.record(rng.uniform(1.0, 1e9));
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_FecFrameLoss(benchmark::State& state) {
+  const auto spec = phy::FecSpec::of(phy::FecScheme::kRsKp4);
+  double ber = 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.frame_loss_prob(ber, phy::DataSize::bytes(1500)));
+    ber = ber < 1e-4 ? ber * 1.01 : 1e-6;
+  }
+}
+BENCHMARK(BM_FecFrameLoss);
+
+void BM_RouterDijkstra(benchmark::State& state) {
+  sim::Simulator sim;
+  fabric::RackParams p;
+  p.width = static_cast<int>(state.range(0));
+  p.height = static_cast<int>(state.range(0));
+  fabric::Rack rack = fabric::build_grid(&sim, p);
+  phy::NodeId dst = 0;
+  for (auto _ : state) {
+    rack.router->bump_prices();  // force recompute
+    benchmark::DoNotOptimize(rack.router->next_hop(
+        static_cast<phy::NodeId>(rack.topology->node_count() - 1), dst));
+    dst = (dst + 1) % rack.topology->node_count();
+  }
+}
+BENCHMARK(BM_RouterDijkstra)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PacketTransportOneFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    fabric::RackParams p;
+    p.width = 4;
+    p.height = 4;
+    fabric::Rack rack = fabric::build_grid(&sim, p);
+    fabric::FlowSpec spec;
+    spec.id = 1;
+    spec.src = 0;
+    spec.dst = 15;
+    spec.size = phy::DataSize::kilobytes(256);
+    rack.network->start_flow(spec, nullptr);
+    sim.run_until();
+    benchmark::DoNotOptimize(rack.network->flows_completed());
+  }
+}
+BENCHMARK(BM_PacketTransportOneFlow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

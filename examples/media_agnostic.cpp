@@ -1,0 +1,87 @@
+// Media-agnostic operation — the paper's §2 design goal.
+//
+// "The specific underlying media is irrelevant. We only expect it to
+// provide some subset of the Physical Layer Primitives that we define."
+//
+// This example runs the same CRC against two racks with different
+// media capabilities:
+//   * an optical fabric exposing every primitive, and
+//   * an electrical backplane that cannot do physical-layer bypass
+//     (no PLP #2) but still splits lanes and adapts FEC.
+// The CRC issues the same requests to both; the electrical fabric
+// rejects what its PHY cannot do and keeps everything else working —
+// no code changes, just a different capability subset.
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "fabric/builders.hpp"
+#include "phy/ber_profile.hpp"
+
+using namespace rsf;
+using namespace rsf::sim::literals;
+
+namespace {
+
+void run_fabric(const char* name, phy::Medium medium, plp::PlpCapabilities caps) {
+  sim::Simulator sim;
+  fabric::RackParams params;
+  params.width = 4;
+  params.height = 4;
+  params.medium = medium;
+  params.plp_caps = caps;
+  params.fec = phy::FecScheme::kNone;
+  fabric::Rack rack = fabric::build_grid(&sim, params);
+
+  core::CrcConfig cfg;
+  cfg.epoch = 100_us;
+  cfg.enable_adaptive_fec = true;
+  core::CrcController crc(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
+                          rack.router.get(), rack.network.get(), cfg);
+  crc.start();
+
+  // Ask for the Figure-2 move: needs PLP #1 (split) and #2 (bypass).
+  std::optional<core::TopologyPlanner::Report> report;
+  crc.request_grid_to_torus([&](const core::TopologyPlanner::Report& r) { report = r; });
+  sim.run_until(sim.now() + 5_ms);
+
+  // Degrade a cable: needs PLP #4 (adaptive FEC) + #5 (stats).
+  const phy::LinkId victim = *rack.topology->link_between(0, 1);
+  const phy::CableId cable = rack.plant->link(victim).segments().front().cable;
+  rack.plant->set_cable_ber(cable, 1e-5);
+  sim.run_until(sim.now() + 2_ms);
+  crc.stop();
+  sim.run_until();
+
+  std::printf("%-28s medium=%s\n", name, std::string(phy::to_string(medium)).c_str());
+  if (report) {
+    std::printf("  grid->torus : %d rows + %d cols closed, %d failures\n",
+                report->rows_closed, report->cols_closed, report->failures);
+  } else {
+    std::printf("  grid->torus : still pending (should not happen)\n");
+  }
+  std::printf("  adaptive FEC: link 0-1 now %s (BER 1e-5)\n",
+              std::string(phy::to_string(rack.plant->link(
+                              *rack.topology->link_between(0, 1)).fec().scheme))
+                  .c_str());
+  std::printf("  PLP failures rejected by media: %llu bypass-join\n\n",
+              static_cast<unsigned long long>(
+                  rack.engine->counters().get("plp.failed.bypass-join")));
+}
+
+}  // namespace
+
+int main() {
+  sim::LogConfig::set_level(sim::LogLevel::kOff);
+  std::printf("Same CRC, two media (paper §2: media agnostic)\n\n");
+
+  run_fabric("optical (full PLP)", phy::Medium::kFiber, plp::PlpCapabilities::all());
+
+  plp::PlpCapabilities electrical;
+  electrical.bypass = false;  // copper backplane: no physical bypass
+  run_fabric("electrical (no bypass)", phy::Medium::kCopper, electrical);
+
+  std::printf("The electrical fabric keeps lane splitting, FEC adaptation and\n"
+              "telemetry; only the bypass-dependent torus conversion degrades —\n"
+              "and it degrades by *refusing*, not by breaking.\n");
+  return 0;
+}

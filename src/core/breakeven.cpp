@@ -1,0 +1,39 @@
+#include "core/breakeven.hpp"
+
+#include <cmath>
+
+namespace rsf::core {
+
+using rsf::phy::DataRate;
+using rsf::phy::DataSize;
+using rsf::sim::SimTime;
+
+std::optional<DataSize> break_even_size(DataRate old_rate, DataRate new_rate,
+                                        SimTime reconfig_time) {
+  if (new_rate.bits_per_second() <= old_rate.bits_per_second()) return std::nullopt;
+  if (old_rate.is_zero()) return DataSize::zero();
+  const double inv_delta =
+      1.0 / old_rate.bits_per_second() - 1.0 / new_rate.bits_per_second();
+  const double bits = reconfig_time.sec() / inv_delta;
+  return DataSize::bits(static_cast<std::int64_t>(std::ceil(bits)));
+}
+
+bool worth_reconfiguring(DataSize size, DataRate old_rate, DataRate new_rate,
+                         SimTime reconfig_time) {
+  const auto threshold = break_even_size(old_rate, new_rate, reconfig_time);
+  return threshold.has_value() && size >= *threshold;
+}
+
+SimTime completion_time(DataSize size, DataRate rate, SimTime setup) {
+  return setup + rsf::phy::transmission_time(size, rate);
+}
+
+std::optional<std::uint64_t> break_even_packets(SimTime saved_per_packet,
+                                                SimTime reconfig_time) {
+  if (saved_per_packet <= SimTime::zero()) return std::nullopt;
+  const double packets = static_cast<double>(reconfig_time.ps()) /
+                         static_cast<double>(saved_per_packet.ps());
+  return static_cast<std::uint64_t>(std::ceil(packets));
+}
+
+}  // namespace rsf::core

@@ -1,0 +1,48 @@
+// rsf::core — the reconfiguration break-even model (paper §3.2).
+//
+// "The problem that arises in all reconfigurable fabrics is finding
+// the minimum flow size for which reconfiguration is worth the cost."
+// This module answers it in closed form. Reconfiguring costs a dead
+// time T (PLP actuation + retraining) during which the affected
+// capacity is unusable; afterwards the flow runs at a better rate
+// and/or lower per-hop latency. A flow of S bits should trigger
+// reconfiguration iff finishing at the new rate after paying T beats
+// finishing at the old rate immediately:
+//
+//     S/R_new + T  <=  S/R_old      =>      S* = T / (1/R_old - 1/R_new)
+//
+// The same inequality with per-bit latency gains covers bypass chains
+// whose win is switching latency rather than bandwidth.
+#pragma once
+
+#include <optional>
+
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::core {
+
+/// Minimum flow size (bits) for which moving from `old_rate` to
+/// `new_rate` pays back `reconfig_time`. nullopt when new_rate does
+/// not exceed old_rate (no break-even exists). old_rate of zero (no
+/// current path) makes any flow worth it: returns 0 bits.
+[[nodiscard]] std::optional<phy::DataSize> break_even_size(phy::DataRate old_rate,
+                                                           phy::DataRate new_rate,
+                                                           rsf::sim::SimTime reconfig_time);
+
+/// True if a flow of `size` finishes sooner by reconfiguring.
+[[nodiscard]] bool worth_reconfiguring(phy::DataSize size, phy::DataRate old_rate,
+                                       phy::DataRate new_rate,
+                                       rsf::sim::SimTime reconfig_time);
+
+/// Completion time of `size` bits at `rate` after waiting `setup`.
+[[nodiscard]] rsf::sim::SimTime completion_time(phy::DataSize size, phy::DataRate rate,
+                                                rsf::sim::SimTime setup);
+
+/// Generalised gate for latency-dominated reconfigurations (e.g. a
+/// bypass chain saving `saved_per_packet` per packet): the number of
+/// packets after which dead time T is repaid.
+[[nodiscard]] std::optional<std::uint64_t> break_even_packets(
+    rsf::sim::SimTime saved_per_packet, rsf::sim::SimTime reconfig_time);
+
+}  // namespace rsf::core

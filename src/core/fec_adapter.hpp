@@ -1,0 +1,62 @@
+// rsf::core — adaptive FEC policy (PLP #4 driver).
+//
+// Chooses, per link and per control epoch, the lightest FEC mode that
+// meets a frame-loss target at the link's observed pre-FEC BER.
+// Light FEC = less rate overhead and less codec latency, so the
+// adapter rides as light as the error environment allows and deepens
+// protection when lanes degrade. Hysteresis: escalation is immediate
+// (loss is visible damage), de-escalation requires the lighter mode to
+// hold the target with `relax_margin` to spare, so the adapter cannot
+// flap between modes at a noisy BER boundary.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/observations.hpp"
+#include "phy/fec.hpp"
+#include "phy/units.hpp"
+#include "plp/engine.hpp"
+
+namespace rsf::core {
+
+struct FecAdapterConfig {
+  /// Maximum acceptable loss probability for the reference frame.
+  double target_frame_loss = 1e-9;
+  /// De-escalation requires the lighter mode to beat target by this
+  /// factor (loss <= target * relax_margin).
+  double relax_margin = 1e-2;
+  /// Never relax below this mode. Essential when the control loop
+  /// runs on *estimated* BER (ControlRingConfig::use_estimated_ber):
+  /// an uncoded link has no decoder and therefore no telemetry, so
+  /// de-escalating to kNone would blind the estimator permanently —
+  /// keep at least a light RS code watching the channel.
+  phy::FecScheme floor_scheme = phy::FecScheme::kNone;
+  phy::DataSize ref_frame = phy::DataSize::bytes(1024);
+};
+
+class FecAdapter {
+ public:
+  FecAdapter(plp::PlpEngine* engine, phy::PhysicalPlant* plant, FecAdapterConfig config = {});
+
+  /// The mode the policy wants for a link at bit-error-rate `ber`,
+  /// given it currently runs `current`. Pure function of config —
+  /// exposed for tests and for the bench's static-vs-adaptive sweep.
+  [[nodiscard]] phy::FecScheme choose(double ber, phy::FecScheme current) const;
+
+  /// Inspect a snapshot and submit SetFec commands where the policy
+  /// disagrees with the installed mode. Returns number of changes
+  /// submitted.
+  int apply(const RackSnapshot& snapshot);
+
+  [[nodiscard]] const FecAdapterConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t changes_submitted() const { return changes_; }
+
+ private:
+  plp::PlpEngine* engine_;
+  phy::PhysicalPlant* plant_;
+  FecAdapterConfig config_;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace rsf::core

@@ -1,0 +1,55 @@
+// rsf::core — link-health remediation (the "link health" term of the
+// paper's §3.2 made actionable).
+//
+// Price tags already steer traffic away from sick links; the health
+// manager goes further and *repairs the fabric*: when a link goes dark
+// (hard lane failure) it decommissions the link and re-provisions it
+// on the same cable, substituting dark spare lanes for the failed
+// ones. The rack heals at the physical layer in roughly one
+// provision time (~60 µs) instead of waiting for a technician.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "core/observations.hpp"
+#include "phy/plant.hpp"
+#include "plp/engine.hpp"
+
+namespace rsf::core {
+
+struct HealthManagerConfig {
+  /// Links whose post-FEC BER exceeds this are treated as sick even if
+  /// still up (precautionary re-provisioning is not implemented; they
+  /// are only priced out — see PriceWeights::gamma_health).
+  double sick_post_fec_ber = 1e-6;
+  /// Maximum remediations started per epoch.
+  int max_ops_per_epoch = 2;
+};
+
+class HealthManager {
+ public:
+  HealthManager(plp::PlpEngine* engine, phy::PhysicalPlant* plant,
+                HealthManagerConfig config = {});
+
+  /// Inspect the snapshot; start decommission+re-provision chains for
+  /// dark links with failed lanes. Returns remediations started.
+  int apply(const RackSnapshot& snapshot);
+
+  [[nodiscard]] std::uint64_t remediations_started() const { return started_; }
+  [[nodiscard]] std::uint64_t remediations_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t remediations_failed() const { return failed_; }
+
+ private:
+  void remediate(phy::LinkId link);
+
+  plp::PlpEngine* engine_;
+  phy::PhysicalPlant* plant_;
+  HealthManagerConfig config_;
+  std::set<phy::LinkId> in_flight_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace rsf::core

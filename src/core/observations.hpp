@@ -1,0 +1,47 @@
+// rsf::core — link observations and rack snapshots.
+//
+// The unit of feedback in the Closed Ring Control: each control epoch,
+// every node contributes what it sees about its links; the assembled
+// RackSnapshot is what pricing and planning run on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/types.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::core {
+
+struct LinkObservation {
+  phy::LinkId link = phy::kInvalidLink;
+  phy::NodeId end_a = phy::kInvalidNode;
+  phy::NodeId end_b = phy::kInvalidNode;
+  int lane_count = 0;
+  int bypass_joints = 0;
+  bool ready = false;
+
+  /// Fraction of the epoch the link spent transmitting, [0,1].
+  double utilization = 0.0;
+  /// Mean output-queueing delay, ns, over the whole run so far.
+  double mean_queue_delay_ns = 0.0;
+  /// Unloaded one-way latency of a reference frame, ns.
+  double unloaded_latency_ns = 0.0;
+  double effective_gbps = 0.0;
+  double worst_pre_fec_ber = 0.0;
+  double post_fec_ber = 0.0;
+  /// Loss probability of the reference frame at current BER and FEC.
+  double frame_loss = 0.0;
+  double power_watts = 0.0;
+  std::uint64_t packets_in_epoch = 0;
+};
+
+struct RackSnapshot {
+  rsf::sim::SimTime taken_at = rsf::sim::SimTime::zero();
+  rsf::sim::SimTime epoch_length = rsf::sim::SimTime::zero();
+  std::vector<LinkObservation> links;
+  /// Total rack power when the snapshot completed (plant + switching).
+  double rack_power_watts = 0.0;
+};
+
+}  // namespace rsf::core

@@ -1,0 +1,82 @@
+#include "core/power_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rsf::core {
+
+PowerManager::PowerManager(plp::PlpEngine* engine, phy::PhysicalPlant* plant,
+                           PowerManagerConfig config)
+    : engine_(engine), plant_(plant), config_(config) {
+  if (engine_ == nullptr || plant_ == nullptr) {
+    throw std::invalid_argument("PowerManager: null dependency");
+  }
+}
+
+int PowerManager::apply(const RackSnapshot& snapshot) {
+  int ops = 0;
+  if (snapshot.rack_power_watts > config_.cap_watts) {
+    for (int i = 0; i < config_.max_ops_per_epoch &&
+                    snapshot.rack_power_watts > config_.cap_watts;
+         ++i) {
+      const std::size_t before = sheds_;
+      shed_one(snapshot);
+      if (sheds_ == before) break;  // no candidate left
+      ++ops;
+    }
+  } else if (snapshot.rack_power_watts < config_.cap_watts - config_.restore_margin_watts &&
+             !shed_.empty()) {
+    // Restore only under demand pressure: some link is running hot.
+    const bool pressure =
+        std::any_of(snapshot.links.begin(), snapshot.links.end(),
+                    [this](const LinkObservation& o) {
+                      return o.ready && o.utilization >= config_.restore_utilization;
+                    });
+    if (pressure) {
+      for (int i = 0; i < config_.max_ops_per_epoch && !shed_.empty(); ++i) {
+        restore_one();
+        ++ops;
+      }
+    }
+  }
+  return ops;
+}
+
+void PowerManager::shed_one(const RackSnapshot& snapshot) {
+  // Least-utilised ready link that still has lanes to give.
+  const LinkObservation* best = nullptr;
+  for (const LinkObservation& obs : snapshot.links) {
+    if (!obs.ready || obs.lane_count <= config_.min_lanes) continue;
+    if (!plant_->has_link(obs.link) || engine_->link_busy(obs.link)) continue;
+    if (best == nullptr || obs.utilization < best->utilization) best = &obs;
+  }
+  if (best == nullptr) return;
+  ++sheds_;
+  const int keep = best->lane_count - 1;
+  engine_->submit(plp::SplitCommand{best->link, keep}, [this](const plp::PlpResult& r) {
+    if (!r.ok || r.created.size() != 2) return;
+    const phy::LinkId kept = r.created[0];
+    const phy::LinkId spare = r.created[1];
+    engine_->submit(plp::ShutdownCommand{spare}, [this, kept, spare](const plp::PlpResult& r2) {
+      if (r2.ok) shed_.push_back(ShedRecord{spare, kept});
+    });
+  });
+}
+
+void PowerManager::restore_one() {
+  ShedRecord rec = shed_.back();
+  shed_.pop_back();
+  if (!plant_->has_link(rec.spare)) return;  // consumed by other planners
+  ++restores_;
+  engine_->submit(plp::BringUpCommand{rec.spare}, [this, rec](const plp::PlpResult& r) {
+    if (!r.ok) return;
+    // Re-bundle with the sibling if it still exists; otherwise the
+    // spare simply serves as an independent one-lane link.
+    if (plant_->has_link(rec.partner)) {
+      engine_->submit(plp::BundleCommand{rec.partner, rec.spare});
+    }
+  });
+}
+
+}  // namespace rsf::core

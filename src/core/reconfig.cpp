@@ -1,0 +1,239 @@
+#include "core/reconfig.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace rsf::core {
+
+void split_many(plp::PlpEngine* engine, const std::vector<phy::LinkId>& links, int k,
+                std::function<void(std::vector<std::optional<SplitOutcome>>)> done) {
+  if (engine == nullptr) throw std::invalid_argument("split_many: null engine");
+  struct State {
+    std::vector<std::optional<SplitOutcome>> outcomes;
+    std::size_t remaining = 0;
+    std::function<void(std::vector<std::optional<SplitOutcome>>)> done;
+  };
+  auto state = std::make_shared<State>();
+  state->outcomes.resize(links.size());
+  state->remaining = links.size();
+  state->done = std::move(done);
+  if (links.empty()) {
+    state->done({});
+    return;
+  }
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    engine->submit(plp::SplitCommand{links[i], k}, [state, i](const plp::PlpResult& r) {
+      if (r.ok && r.created.size() == 2) {
+        state->outcomes[i] = SplitOutcome{r.created[0], r.created[1]};
+      }
+      if (--state->remaining == 0) state->done(std::move(state->outcomes));
+    });
+  }
+}
+
+void chain_bypass(plp::PlpEngine* engine, std::vector<phy::LinkId> path,
+                  std::function<void(std::optional<phy::LinkId>)> done) {
+  if (engine == nullptr) throw std::invalid_argument("chain_bypass: null engine");
+  if (path.empty()) {
+    done(std::nullopt);
+    return;
+  }
+  if (path.size() == 1) {
+    done(path.front());
+    return;
+  }
+  // One tree-reduction round: join adjacent pairs concurrently, then
+  // recurse on the survivors. Odd tail carries over untouched.
+  struct Round {
+    std::vector<std::optional<phy::LinkId>> next;
+    std::size_t remaining = 0;
+    bool failed = false;
+  };
+  auto round = std::make_shared<Round>();
+  const std::size_t pairs = path.size() / 2;
+  round->next.resize(pairs + (path.size() % 2));
+  round->remaining = pairs;
+  if (path.size() % 2 == 1) round->next.back() = path.back();
+
+  auto finish_round = [engine, round, done](std::size_t) mutable {
+    if (--round->remaining > 0) return;
+    std::vector<phy::LinkId> survivors;
+    survivors.reserve(round->next.size());
+    for (const auto& l : round->next) {
+      if (!l) {
+        done(std::nullopt);
+        return;
+      }
+      survivors.push_back(*l);
+    }
+    chain_bypass(engine, std::move(survivors), std::move(done));
+  };
+
+  for (std::size_t p = 0; p < pairs; ++p) {
+    engine->submit(plp::BypassJoinCommand{path[2 * p], path[2 * p + 1]},
+                   [round, p, finish_round](const plp::PlpResult& r) mutable {
+                     if (r.ok && r.created.size() == 1) round->next[p] = r.created[0];
+                     finish_round(p);
+                   });
+  }
+}
+
+std::vector<phy::NodeId> interior_joints(const phy::PhysicalPlant& plant, phy::LinkId link) {
+  const phy::LogicalLink& l = plant.link(link);
+  std::vector<phy::NodeId> joints;
+  phy::NodeId cursor = l.end_a();
+  for (std::size_t i = 0; i + 1 < l.segments().size(); ++i) {
+    cursor = plant.cable(l.segments()[i].cable).other_end(cursor);
+    joints.push_back(cursor);
+  }
+  return joints;
+}
+
+void unchain_bypass(plp::PlpEngine* engine, phy::PhysicalPlant* plant, phy::LinkId link,
+                    std::function<void(std::vector<phy::LinkId>)> done) {
+  if (engine == nullptr || plant == nullptr) {
+    throw std::invalid_argument("unchain_bypass: null dependency");
+  }
+  const auto joints = interior_joints(*plant, link);
+  if (joints.empty()) {
+    done({link});
+    return;
+  }
+  // Sever at the first joint, then recurse into the right-hand piece.
+  engine->submit(
+      plp::BypassSeverCommand{link, joints.front()},
+      [engine, plant, done = std::move(done)](const plp::PlpResult& r) mutable {
+        if (!r.ok || r.created.size() != 2) {
+          done({});
+          return;
+        }
+        const phy::LinkId head = r.created[0];
+        const phy::LinkId rest = r.created[1];
+        unchain_bypass(engine, plant, rest,
+                       [head, done = std::move(done)](std::vector<phy::LinkId> tail) mutable {
+                         if (tail.empty()) {
+                           done({});
+                           return;
+                         }
+                         tail.insert(tail.begin(), head);
+                         done(std::move(tail));
+                       });
+      });
+}
+
+TopologyPlanner::TopologyPlanner(rsf::sim::Simulator* sim, plp::PlpEngine* engine,
+                                 phy::PhysicalPlant* plant, fabric::Topology* topo)
+    : sim_(sim), engine_(engine), plant_(plant), topo_(topo) {
+  if (sim_ == nullptr || engine_ == nullptr || plant_ == nullptr || topo_ == nullptr) {
+    throw std::invalid_argument("TopologyPlanner: null dependency");
+  }
+}
+
+void TopologyPlanner::close_path(std::vector<phy::NodeId> nodes,
+                                 std::function<void(std::optional<phy::LinkId>)> done) {
+  if (nodes.size() < 3) {
+    done(std::nullopt);
+    return;
+  }
+  // Find the current adjacent link between each consecutive pair.
+  std::vector<phy::LinkId> links;
+  links.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    std::optional<phy::LinkId> found;
+    for (phy::LinkId id : topo_->links_at(nodes[i])) {
+      const phy::LogicalLink& l = plant_->link(id);
+      if (l.bypass_joints() == 0 && l.connects(nodes[i + 1]) && l.lane_count() >= 2) {
+        found = id;
+        break;
+      }
+    }
+    if (!found) {
+      done(std::nullopt);
+      return;
+    }
+    links.push_back(*found);
+  }
+  // Split every link; keep the first half in place, chain the spares.
+  split_many(engine_, links, /*k=*/(plant_->link(links.front()).lane_count() + 1) / 2,
+             [this, done = std::move(done)](std::vector<std::optional<SplitOutcome>> outs) mutable {
+               std::vector<phy::LinkId> spares;
+               spares.reserve(outs.size());
+               for (const auto& o : outs) {
+                 if (!o) {
+                   done(std::nullopt);
+                   return;
+                 }
+                 spares.push_back(o->spare);
+               }
+               chain_bypass(engine_, std::move(spares), std::move(done));
+             });
+}
+
+void TopologyPlanner::close_row(int y, std::function<void(std::optional<phy::LinkId>)> done) {
+  const int w = topo_->grid_w();
+  if (w < 3 || y < 0 || y >= topo_->grid_h()) {
+    done(std::nullopt);
+    return;
+  }
+  std::vector<phy::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(w));
+  for (int x = 0; x < w; ++x) nodes.push_back(static_cast<phy::NodeId>(y * w + x));
+  close_path(std::move(nodes), std::move(done));
+}
+
+void TopologyPlanner::close_column(int x,
+                                   std::function<void(std::optional<phy::LinkId>)> done) {
+  const int w = topo_->grid_w();
+  const int h = topo_->grid_h();
+  if (h < 3 || x < 0 || x >= w) {
+    done(std::nullopt);
+    return;
+  }
+  std::vector<phy::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(h));
+  for (int y = 0; y < h; ++y) nodes.push_back(static_cast<phy::NodeId>(y * w + x));
+  close_path(std::move(nodes), std::move(done));
+}
+
+void TopologyPlanner::grid_to_torus(DoneCallback done) {
+  struct State {
+    Report report;
+    int remaining = 0;
+    DoneCallback done;
+  };
+  auto state = std::make_shared<State>();
+  state->done = std::move(done);
+  const int w = topo_->grid_w();
+  const int h = topo_->grid_h();
+  state->remaining = (w >= 3 ? h : 0) + (h >= 3 ? w : 0);
+  if (state->remaining == 0) {
+    state->done(state->report);
+    return;
+  }
+  auto on_piece = [state](bool is_row, std::optional<phy::LinkId> wrap) {
+    if (wrap) {
+      state->report.wrap_links.push_back(*wrap);
+      if (is_row) {
+        ++state->report.rows_closed;
+      } else {
+        ++state->report.cols_closed;
+      }
+    } else {
+      ++state->report.failures;
+    }
+    if (--state->remaining == 0) state->done(state->report);
+  };
+  if (w >= 3) {
+    for (int y = 0; y < h; ++y) {
+      close_row(y, [on_piece](std::optional<phy::LinkId> wrap) { on_piece(true, wrap); });
+    }
+  }
+  if (h >= 3) {
+    for (int x = 0; x < w; ++x) {
+      close_column(x,
+                   [on_piece](std::optional<phy::LinkId> wrap) { on_piece(false, wrap); });
+    }
+  }
+}
+
+}  // namespace rsf::core

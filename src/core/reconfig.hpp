@@ -1,0 +1,95 @@
+// rsf::core — reconfiguration orchestration.
+//
+// PLP commands are asynchronous and create links whose ids are only
+// known at completion, so multi-step plans (split a whole row, then
+// chain the spare lanes into a wraparound link) need orchestration.
+// This module provides:
+//
+//  * split_many  — split a set of links concurrently;
+//  * chain_bypass — fold a path of links into one long link by
+//    pairwise bypass joins, tree-reduced so the actuation time grows
+//    with log2(path length), not linearly;
+//  * TopologyPlanner — the Figure 2 move: close grid rows/columns into
+//    rings by splitting every link and chaining the spare lanes into a
+//    wraparound, converting an W x H grid at L lanes/link into a torus
+//    at L/2 lanes/link with zero added cabling.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fabric/topology.hpp"
+#include "phy/plant.hpp"
+#include "plp/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace rsf::core {
+
+/// Result of splitting one link: the half that keeps serving the
+/// original role and the freed spare.
+struct SplitOutcome {
+  phy::LinkId kept = phy::kInvalidLink;
+  phy::LinkId spare = phy::kInvalidLink;
+};
+
+/// Split every link in `links` into (k, rest) concurrently. The
+/// callback fires when all splits finish, with outcomes in input
+/// order; nullopt entries mark failed splits.
+void split_many(plp::PlpEngine* engine, const std::vector<phy::LinkId>& links, int k,
+                std::function<void(std::vector<std::optional<SplitOutcome>>)> done);
+
+/// Join a path of links (ordered, consecutive links sharing a node)
+/// into a single link via tree-reduced bypass joins. Callback fires
+/// with the final link id, or nullopt on any failure.
+void chain_bypass(plp::PlpEngine* engine,
+                  std::vector<phy::LinkId> path,
+                  std::function<void(std::optional<phy::LinkId>)> done);
+
+/// Tear a multi-segment link apart at every interior joint, yielding
+/// the adjacent pieces (in path order).
+void unchain_bypass(plp::PlpEngine* engine, phy::PhysicalPlant* plant, phy::LinkId link,
+                    std::function<void(std::vector<phy::LinkId>)> done);
+
+/// Interior nodes of a multi-segment link, in path order.
+[[nodiscard]] std::vector<phy::NodeId> interior_joints(const phy::PhysicalPlant& plant,
+                                                       phy::LinkId link);
+
+/// Executes Figure 2's grid -> torus conversion (and its inverse
+/// building blocks) against live links.
+class TopologyPlanner {
+ public:
+  struct Report {
+    int rows_closed = 0;
+    int cols_closed = 0;
+    int failures = 0;
+    std::vector<phy::LinkId> wrap_links;
+  };
+  using DoneCallback = std::function<void(const Report&)>;
+
+  TopologyPlanner(rsf::sim::Simulator* sim, plp::PlpEngine* engine,
+                  phy::PhysicalPlant* plant, fabric::Topology* topo);
+
+  /// Close row `y` into a ring: split every horizontal link of the row
+  /// into halves, keep one half in place, chain the spares into a
+  /// west<->east wraparound. Requires every link to have >= 2 lanes.
+  void close_row(int y, std::function<void(std::optional<phy::LinkId>)> done);
+
+  /// Same for column `x` (vertical links, north<->south wraparound).
+  void close_column(int x, std::function<void(std::optional<phy::LinkId>)> done);
+
+  /// Close every row and every column: the full grid -> torus move.
+  void grid_to_torus(DoneCallback done);
+
+ private:
+  void close_path(std::vector<phy::NodeId> nodes,
+                  std::function<void(std::optional<phy::LinkId>)> done);
+
+  rsf::sim::Simulator* sim_;
+  plp::PlpEngine* engine_;
+  phy::PhysicalPlant* plant_;
+  fabric::Topology* topo_;
+};
+
+}  // namespace rsf::core

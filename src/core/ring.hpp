@@ -1,0 +1,71 @@
+// rsf::core — the closed control ring.
+//
+// The CRC's feedback channel (and its name): a telemetry token
+// circulates node to node around the rack on a dedicated control ring.
+// Each node appends observations for the links it owns (the links
+// whose lower-numbered endpoint it is, so each link is reported once);
+// when the token returns to the controller the rack snapshot is
+// complete. Collection therefore costs simulated time proportional to
+// the rack size — the controller's epoch must absorb the circulation
+// latency, which the benches report as part of reaction time.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "core/observations.hpp"
+#include "fabric/network.hpp"
+#include "fabric/topology.hpp"
+#include "phy/plant.hpp"
+#include "plp/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace rsf::core {
+
+struct ControlRingConfig {
+  /// Token flight time between adjacent nodes on the control ring.
+  rsf::sim::SimTime hop_latency = rsf::sim::SimTime::nanoseconds(200);
+  /// Per-node processing (stat readout, append).
+  rsf::sim::SimTime node_processing = rsf::sim::SimTime::nanoseconds(100);
+  /// Reference frame used for unloaded latency / loss observations.
+  phy::DataSize ref_frame = phy::DataSize::bytes(1024);
+  /// Report the BER *estimated from FEC decoder telemetry* instead of
+  /// the oracle lane value — what a real deployment has to live with.
+  /// Links without RS FEC (no telemetry) then report BER 0 until the
+  /// adaptive-FEC ladder gives them one.
+  bool use_estimated_ber = false;
+};
+
+class ControlRing {
+ public:
+  using SnapshotCallback = std::function<void(const RackSnapshot&)>;
+
+  ControlRing(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, plp::PlpEngine* engine,
+              fabric::Topology* topo, fabric::Network* net, ControlRingConfig config = {});
+
+  /// Launch one token circulation. `epoch_length` is the window the
+  /// utilisation numbers are normalised over (time since the previous
+  /// circulation). The callback fires when the token completes the
+  /// ring, carrying the snapshot.
+  void circulate(rsf::sim::SimTime epoch_length, SnapshotCallback cb);
+
+  /// Simulated time one full circulation takes right now.
+  [[nodiscard]] rsf::sim::SimTime circulation_time() const;
+
+  [[nodiscard]] const ControlRingConfig& config() const { return config_; }
+
+ private:
+  void collect_node(phy::NodeId node, rsf::sim::SimTime epoch_length, RackSnapshot* snap);
+
+  rsf::sim::Simulator* sim_;
+  phy::PhysicalPlant* plant_;
+  plp::PlpEngine* engine_;
+  fabric::Topology* topo_;
+  fabric::Network* net_;
+  ControlRingConfig config_;
+  // Cumulative counters from the previous circulation, for epoch diffs.
+  std::unordered_map<phy::LinkId, rsf::sim::SimTime> prev_busy_;
+  std::unordered_map<phy::LinkId, std::uint64_t> prev_packets_;
+};
+
+}  // namespace rsf::core

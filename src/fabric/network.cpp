@@ -1,0 +1,343 @@
+#include "fabric/network.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rsf::fabric {
+
+using rsf::sim::SimTime;
+
+namespace {
+/// Head flit size: how much of a packet must arrive before a
+/// cut-through switch can act on it (addresses live in the first bytes).
+constexpr auto kHeader = rsf::phy::DataSize::bytes(64);
+}  // namespace
+
+Network::Network(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, Topology* topo,
+                 Router* router, NetworkConfig config)
+    : sim_(sim),
+      plant_(plant),
+      topo_(topo),
+      router_(router),
+      config_(config),
+      rng_(config.seed, "network"),
+      log_(sim, "net") {
+  if (sim_ == nullptr || plant_ == nullptr || topo_ == nullptr || router_ == nullptr) {
+    throw std::invalid_argument("Network: null dependency");
+  }
+  if (config_.flow_window < 1) throw std::invalid_argument("Network: flow_window < 1");
+}
+
+void Network::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
+  if (spec.id == kNoFlow) throw std::invalid_argument("start_flow: flow id 0 reserved");
+  if (flows_.contains(spec.id)) throw std::invalid_argument("start_flow: duplicate flow id");
+  if (spec.size.bit_count() <= 0 || spec.packet_size.bit_count() <= 0) {
+    throw std::invalid_argument("start_flow: non-positive sizes");
+  }
+  FlowState state;
+  state.spec = spec;
+  state.on_complete = std::move(on_complete);
+  state.packets_total = static_cast<std::uint64_t>(
+      (spec.size.bit_count() + spec.packet_size.bit_count() - 1) /
+      spec.packet_size.bit_count());
+  flows_.emplace(spec.id, std::move(state));
+  counters_.add("net.flows_started");
+  // A start time already in the past means "now".
+  sim_->schedule_at(std::max(spec.start, sim_->now()), [this, id = spec.id] {
+    auto fit = flows_.find(id);
+    if (fit == flows_.end()) return;
+    fit->second.started = sim_->now();
+    pump_flow(fit->second);
+  });
+}
+
+void Network::pump_flow(FlowState& flow) {
+  while (!flow.done && flow.inflight < config_.flow_window &&
+         flow.next_seq < flow.packets_total) {
+    Packet pkt;
+    pkt.id = next_packet_id_++;
+    pkt.flow = flow.spec.id;
+    pkt.seq = flow.next_seq++;
+    pkt.src = flow.spec.src;
+    pkt.dst = flow.spec.dst;
+    // Last packet may be short.
+    const std::int64_t sent_bits =
+        static_cast<std::int64_t>(pkt.seq) * flow.spec.packet_size.bit_count();
+    const std::int64_t remaining = flow.spec.size.bit_count() - sent_bits;
+    pkt.size = remaining >= flow.spec.packet_size.bit_count()
+                   ? flow.spec.packet_size
+                   : phy::DataSize::bits(remaining);
+    ++flow.inflight;
+    inject(pkt, sim_->now());
+  }
+}
+
+void Network::send_probe(phy::NodeId src, phy::NodeId dst, phy::DataSize size,
+                         ProbeCallback cb) {
+  Packet pkt;
+  pkt.id = next_packet_id_++;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.size = size;
+  probes_[pkt.id] = ProbeState{std::move(cb)};
+  counters_.add("net.probes");
+  inject(pkt, sim_->now());
+}
+
+void Network::inject(Packet pkt, SimTime when) {
+  pkt.injected = when;
+  pkt.hops = 0;
+  counters_.add("net.packets_injected");
+  const SimTime ready = when + config_.switch_params.nic_latency;
+  // The whole packet sits in host memory: head and tail both available.
+  sim_->schedule_at(ready, [this, pkt, ready] { hop(pkt, pkt.src, ready, ready); });
+}
+
+void Network::hop(Packet pkt, phy::NodeId node, SimTime head_ready, SimTime tail_ready) {
+  if (node == pkt.dst) {
+    deliver(pkt, tail_ready + config_.switch_params.nic_latency);
+    return;
+  }
+  if (pkt.hops >= config_.max_hops) {
+    // Routing-loop backstop: retransmit from the source rather than
+    // orbit (stale tables self-correct within a version bump).
+    retransmit(pkt);
+    return;
+  }
+  // A flow that owns a reserved circuit from here toward its
+  // destination takes it unconditionally (the CRC built it for us).
+  std::optional<phy::LinkId> link_opt;
+  if (pkt.flow != kNoFlow) {
+    for (phy::LinkId id : topo_->links_at(node)) {
+      if (!topo_->usable(id)) continue;
+      const phy::LogicalLink& l = plant_->link(id);
+      if (l.reserved_for() == pkt.flow && l.other_end(node) == pkt.dst) {
+        link_opt = id;
+        break;
+      }
+    }
+  }
+  if (!link_opt) link_opt = router_->next_hop(node, pkt.dst);
+  if (!link_opt) {
+    // No usable path right now (e.g. mid-reconfiguration): retry from
+    // here with exponential backoff, bounded by the retry budget. The
+    // backoff matters during large reconfigurations (a grid -> torus
+    // move keeps links retraining for hundreds of microseconds).
+    if (pkt.retries < config_.max_retries) {
+      const int shift = std::min(pkt.retries, 6);
+      const SimTime wait = config_.retry_delay * (std::int64_t{1} << shift);
+      ++pkt.retries;
+      counters_.add("net.reroute_waits");
+      sim_->schedule_after(wait, [this, pkt, node] {
+        const SimTime t = sim_->now();
+        hop(pkt, node, t, t);
+      });
+    } else {
+      drop(pkt, "no_route");
+    }
+    return;
+  }
+  const phy::LinkId link = *link_opt;
+  const phy::LogicalLink& l = plant_->link(link);
+  const phy::NodeId next = l.other_end(node);
+
+  const SimTime ser = l.serialization_delay(pkt.size);
+  const SimTime header_ser = l.serialization_delay(std::min(kHeader, pkt.size));
+  const SimTime prop = l.propagation_delay() + l.fec().latency;
+
+  PortState& port = ports_[port_key(node, link)];
+  // Start rule: head available (head_ready already includes the
+  // switch/NIC pipeline), port free, and the no-underrun constraint
+  // (transmission may not finish before the tail has arrived here).
+  SimTime start = std::max(head_ready, port.busy_until);
+  if (tail_ready - ser > start) start = tail_ready - ser;
+  port.busy_until = start + ser;
+
+  LinkUse& use = link_use_[link];
+  use.busy += ser;
+  use.queue_delay_sum += start - std::max(head_ready, tail_ready - ser);
+  ++use.queue_delay_samples;
+  ++use.packets;
+  use.bits += static_cast<std::uint64_t>(pkt.size.bit_count());
+  // Per-lane PLP #5 accounting, including sampled FEC decoder
+  // telemetry (corrected codewords) for the BER estimator.
+  plant_->account_frame(link, pkt.size, rng_);
+
+  // Dynamic switching energy is charged at the sending node's element
+  // (the source NIC for hop 0).
+  switched_bits_total_ += static_cast<std::uint64_t>(pkt.size.bit_count());
+  switched_bits_log_.emplace_back(sim_->now(), switched_bits_total_);
+
+  // Loss is decided per-link from the analytic FEC model.
+  const double loss_p = l.frame_loss_prob(pkt.size);
+  const bool lost = loss_p > 0.0 && rng_.bernoulli(loss_p);
+
+  const SimTime head_arrival = start + header_ser + prop;
+  const SimTime tail_arrival = start + ser + prop;
+  ++pkt.hops;
+
+  if (lost) {
+    counters_.add("net.frames_corrupted");
+    sim_->schedule_at(tail_arrival, [this, pkt] { retransmit(pkt); });
+    return;
+  }
+  // Cut-through forwards once the head has cleared the switch
+  // pipeline; store-and-forward must buffer the whole packet first.
+  const SimTime basis = config_.switch_params.cut_through ? head_arrival : tail_arrival;
+  const SimTime next_head_ready = basis + config_.switch_params.switch_latency;
+  // One event per hop, fired when the packet becomes actionable at the
+  // next element.
+  sim_->schedule_at(basis, [this, pkt, next, next_head_ready, tail_arrival] {
+    hop(pkt, next, next_head_ready, tail_arrival);
+  });
+}
+
+void Network::deliver(const Packet& pkt, SimTime when) {
+  const auto finalize = [this, pkt, when] {
+    packet_latency_.record(when - pkt.injected);
+    hop_counts_.record(static_cast<double>(pkt.hops));
+    counters_.add("net.packets_delivered");
+    auto pit = probes_.find(pkt.id);
+    if (pit != probes_.end()) {
+      auto cb = std::move(pit->second.cb);
+      probes_.erase(pit);
+      if (cb) cb(when - pkt.injected, pkt.hops, true);
+      return;
+    }
+    if (pkt.flow != kNoFlow) flow_packet_delivered(pkt.flow);
+  };
+  if (when > sim_->now()) {
+    sim_->schedule_at(when, finalize);
+  } else {
+    finalize();
+  }
+}
+
+void Network::drop(const Packet& pkt, const char* reason) {
+  counters_.add(std::string("net.drops.") + reason);
+  log_.debug("drop packet ", pkt.id, " (", reason, ")");
+  auto pit = probes_.find(pkt.id);
+  if (pit != probes_.end()) {
+    auto cb = std::move(pit->second.cb);
+    probes_.erase(pit);
+    if (cb) cb(SimTime::zero(), pkt.hops, false);
+    return;
+  }
+  if (pkt.flow != kNoFlow) {
+    auto fit = flows_.find(pkt.flow);
+    if (fit != flows_.end() && !fit->second.done) finish_flow(fit->second, /*failed=*/true);
+  }
+}
+
+void Network::retransmit(Packet pkt) {
+  if (pkt.retries >= config_.max_retries) {
+    drop(pkt, "retries_exhausted");
+    return;
+  }
+  ++pkt.retries;
+  counters_.add("net.retransmits");
+  if (pkt.flow != kNoFlow) {
+    auto fit = flows_.find(pkt.flow);
+    if (fit != flows_.end()) ++fit->second.retransmits;
+  }
+  sim_->schedule_after(config_.retry_delay, [this, pkt]() mutable {
+    pkt.hops = 0;
+    const SimTime ready = sim_->now() + config_.switch_params.nic_latency;
+    sim_->schedule_at(ready, [this, pkt, ready] { hop(pkt, pkt.src, ready, ready); });
+  });
+}
+
+void Network::flow_packet_delivered(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end() || it->second.done) return;
+  FlowState& flow = it->second;
+  --flow.inflight;
+  ++flow.delivered;
+  if (flow.delivered == flow.packets_total) {
+    finish_flow(flow, /*failed=*/false);
+    return;
+  }
+  pump_flow(flow);
+}
+
+void Network::finish_flow(FlowState& flow, bool failed) {
+  flow.done = true;
+  flow.failed = failed;
+  FlowResult result;
+  result.spec = flow.spec;
+  result.started = flow.started;
+  result.finished = sim_->now();
+  result.packets = flow.delivered;
+  result.retransmits = flow.retransmits;
+  result.failed = failed;
+  if (failed) {
+    ++flows_failed_;
+    counters_.add("net.flows_failed");
+  } else {
+    ++flows_completed_;
+    counters_.add("net.flows_completed");
+    flow_completion_.record(result.completion_time());
+  }
+  if (flow.on_complete) flow.on_complete(result);
+}
+
+SimTime Network::link_busy_time(phy::LinkId id) const {
+  auto it = link_use_.find(id);
+  return it == link_use_.end() ? SimTime::zero() : it->second.busy;
+}
+
+SimTime Network::link_mean_queue_delay(phy::LinkId id) const {
+  auto it = link_use_.find(id);
+  if (it == link_use_.end() || it->second.queue_delay_samples == 0) return SimTime::zero();
+  return it->second.queue_delay_sum /
+         static_cast<std::int64_t>(it->second.queue_delay_samples);
+}
+
+std::uint64_t Network::link_packets(phy::LinkId id) const {
+  auto it = link_use_.find(id);
+  return it == link_use_.end() ? 0 : it->second.packets;
+}
+
+double Network::switch_power_watts(SimTime window) const {
+  // Static: every distinct (node, adjacent link) pairing in switching
+  // use costs a port. Bypassed interior nodes don't pay it — their
+  // traffic never touches the switching logic.
+  // Static: a port is *physical* — one per cable end that terminates
+  // in switching logic. A link's first segment pays at end_a, its last
+  // at end_b; interior (bypassed) cable ends pay nothing — that is the
+  // power saving PLP #2 buys. Splitting a link in two does not mint
+  // ports: both halves terminate on the same cable ends (deduplicated
+  // here), and dark cables cost nothing.
+  std::set<std::uint64_t> switching_ends;
+  for (phy::LinkId id : plant_->link_ids()) {
+    const phy::LogicalLink& l = plant_->link(id);
+    const auto key = [](phy::CableId c, phy::NodeId n) {
+      return (static_cast<std::uint64_t>(c) << 32) | n;
+    };
+    switching_ends.insert(key(l.segments().front().cable, l.end_a()));
+    switching_ends.insert(key(l.segments().back().cable, l.end_b()));
+  }
+  const double static_w =
+      config_.switch_params.port_static_w * static_cast<double>(switching_ends.size());
+  // Dynamic: bits switched in the trailing window.
+  const SimTime now = sim_->now();
+  const SimTime from = now >= window ? now - window : SimTime::zero();
+  // Trim the log as a side effect (mutable).
+  auto& lg = switched_bits_log_;
+  std::size_t keep_from = 0;
+  while (keep_from < lg.size() && lg[keep_from].first < from) ++keep_from;
+  std::uint64_t bits_before = switched_bits_total_;
+  if (keep_from < lg.size()) {
+    bits_before = keep_from == 0 ? 0 : lg[keep_from - 1].second;
+  } else if (!lg.empty()) {
+    bits_before = lg.back().second;
+  }
+  if (keep_from > 0) lg.erase(lg.begin(), lg.begin() + static_cast<long>(keep_from));
+  const double bits_in_window = static_cast<double>(switched_bits_total_ - bits_before);
+  const double seconds = std::max(window.sec(), 1e-12);
+  const double dynamic_w = bits_in_window * config_.switch_params.pj_per_bit * 1e-12 / seconds;
+  return static_w + dynamic_w;
+}
+
+}  // namespace rsf::fabric

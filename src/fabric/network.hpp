@@ -1,0 +1,181 @@
+// rsf::fabric — the packet transport engine.
+//
+// Network simulates packet movement over the topology at packet-event
+// granularity (one event per hop). The switch model is cut-through:
+// a packet's head can leave a node `switch_latency` after it arrives,
+// while its tail is still streaming in, subject to (a) output-port
+// serialization (ports are modelled with busy-until arithmetic, FIFO)
+// and (b) the no-underrun constraint — a hop may not *finish*
+// transmitting before the tail has arrived. Store-and-forward mode is
+// available as the comparison baseline (Figure 1's dominant term).
+//
+// Sources are window-limited: a flow keeps at most `flow_window`
+// packets in flight, modelling the lossless backpressure a rack fabric
+// provides without simulating per-hop credits. Frames lost to
+// uncorrectable FEC errors (sampled per hop from the link's analytic
+// loss probability) are retransmitted from the source.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/packet.hpp"
+#include "fabric/router.hpp"
+#include "fabric/topology.hpp"
+#include "phy/plant.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace rsf::fabric {
+
+struct SwitchParams {
+  /// Per-hop pipeline latency of the switching element (cut-through
+  /// lookup + crossbar). State-of-the-art L2 cut-through, ~450 ns.
+  rsf::sim::SimTime switch_latency = rsf::sim::SimTime::nanoseconds(450);
+  /// Injection / delivery overhead at the end hosts' NICs.
+  rsf::sim::SimTime nic_latency = rsf::sim::SimTime::nanoseconds(300);
+  bool cut_through = true;
+  /// Static power per switch port that is in switching (non-bypassed)
+  /// use, and dynamic energy per switched bit.
+  double port_static_w = 1.5;
+  double pj_per_bit = 15.0;
+};
+
+struct NetworkConfig {
+  SwitchParams switch_params;
+  /// Max packets a flow keeps in flight (source backpressure window).
+  int flow_window = 16;
+  /// Give up after this many retransmits of one packet.
+  int max_retries = 16;
+  /// Drop packets that have crossed this many hops (routing-loop
+  /// backstop; transient loops can occur while tables refresh).
+  int max_hops = 64;
+  /// Delay before a retransmit or a no-route retry re-enters the NIC.
+  rsf::sim::SimTime retry_delay = rsf::sim::SimTime::microseconds(5);
+  std::uint64_t seed = 1;
+};
+
+class Network {
+ public:
+  using FlowCallback = std::function<void(const FlowResult&)>;
+  using ProbeCallback =
+      std::function<void(rsf::sim::SimTime latency, int hops, bool delivered)>;
+
+  Network(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, Topology* topo,
+          Router* router, NetworkConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a flow; packets start at spec.start. The callback fires
+  /// on completion (or failure after retry exhaustion).
+  void start_flow(const FlowSpec& spec, FlowCallback on_complete = nullptr);
+
+  /// One tracer packet; callback fires at delivery (or drop).
+  void send_probe(phy::NodeId src, phy::NodeId dst, phy::DataSize size,
+                  ProbeCallback cb);
+
+  // --- observability ---
+
+  [[nodiscard]] const telemetry::Histogram& packet_latency() const { return packet_latency_; }
+  [[nodiscard]] const telemetry::Histogram& flow_completion() const { return flow_completion_; }
+  [[nodiscard]] const telemetry::Histogram& hop_counts() const { return hop_counts_; }
+  [[nodiscard]] const telemetry::CounterSet& counters() const { return counters_; }
+
+  /// Cumulative time link `id` spent transmitting (sum over both
+  /// directions). The CRC diffs this between control epochs to get
+  /// utilisation.
+  [[nodiscard]] rsf::sim::SimTime link_busy_time(phy::LinkId id) const;
+  /// Mean queueing delay experienced at link `id` since start.
+  [[nodiscard]] rsf::sim::SimTime link_mean_queue_delay(phy::LinkId id) const;
+  /// Cumulative count of packets that crossed link `id`.
+  [[nodiscard]] std::uint64_t link_packets(phy::LinkId id) const;
+
+  /// Switching-element power right now: static per in-use port plus
+  /// dynamic switching power from the recent bit rate. `window` sets
+  /// how far back "recent" looks.
+  [[nodiscard]] double switch_power_watts(
+      rsf::sim::SimTime window = rsf::sim::SimTime::milliseconds(1)) const;
+
+  [[nodiscard]] std::uint64_t flows_completed() const { return flows_completed_; }
+  [[nodiscard]] std::uint64_t flows_failed() const { return flows_failed_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct FlowState {
+    FlowSpec spec;
+    FlowCallback on_complete;
+    std::uint64_t packets_total = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t retransmits = 0;
+    int inflight = 0;
+    rsf::sim::SimTime started = rsf::sim::SimTime::zero();
+    bool failed = false;
+    bool done = false;
+  };
+
+  struct PortState {
+    rsf::sim::SimTime busy_until = rsf::sim::SimTime::zero();
+  };
+
+  struct LinkUse {
+    rsf::sim::SimTime busy = rsf::sim::SimTime::zero();
+    rsf::sim::SimTime queue_delay_sum = rsf::sim::SimTime::zero();
+    std::uint64_t queue_delay_samples = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bits = 0;
+  };
+
+  struct ProbeState {
+    ProbeCallback cb;
+  };
+
+  void pump_flow(FlowState& flow);
+  void inject(Packet pkt, rsf::sim::SimTime when);
+  /// Head of `pkt` is available at `node` at head_ready (switch/NIC
+  /// latency already applied); tail fully arrived at tail_ready.
+  void hop(Packet pkt, phy::NodeId node, rsf::sim::SimTime head_ready,
+           rsf::sim::SimTime tail_ready);
+  void deliver(const Packet& pkt, rsf::sim::SimTime when);
+  void drop(const Packet& pkt, const char* reason);
+  void retransmit(Packet pkt);
+  void flow_packet_delivered(FlowId id);
+  void finish_flow(FlowState& flow, bool failed);
+
+  [[nodiscard]] std::uint64_t port_key(phy::NodeId node, phy::LinkId link) const {
+    return (static_cast<std::uint64_t>(node) << 32) | link;
+  }
+
+  rsf::sim::Simulator* sim_;
+  phy::PhysicalPlant* plant_;
+  Topology* topo_;
+  Router* router_;
+  NetworkConfig config_;
+  rsf::sim::RandomStream rng_;
+  rsf::sim::Logger log_;
+
+  std::unordered_map<std::uint64_t, PortState> ports_;
+  std::unordered_map<phy::LinkId, LinkUse> link_use_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::unordered_map<std::uint64_t, ProbeState> probes_;  // packet id -> probe
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_failed_ = 0;
+
+  // Sliding window accounting for dynamic switch power.
+  std::uint64_t switched_bits_total_ = 0;
+  mutable std::vector<std::pair<rsf::sim::SimTime, std::uint64_t>> switched_bits_log_;
+
+  telemetry::Histogram packet_latency_;
+  telemetry::Histogram flow_completion_;
+  telemetry::Histogram hop_counts_;
+  telemetry::CounterSet counters_;
+};
+
+}  // namespace rsf::fabric

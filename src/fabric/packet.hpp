@@ -1,0 +1,52 @@
+// rsf::fabric — packets and flows.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/types.hpp"
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::fabric {
+
+using FlowId = std::uint64_t;
+inline constexpr FlowId kNoFlow = 0;
+
+/// A packet in flight. Packets are passed by value through hop events;
+/// there is no central packet table.
+struct Packet {
+  std::uint64_t id = 0;
+  FlowId flow = kNoFlow;
+  std::uint64_t seq = 0;  // sequence within the flow
+  phy::NodeId src = phy::kInvalidNode;
+  phy::NodeId dst = phy::kInvalidNode;
+  phy::DataSize size = phy::DataSize::zero();
+  rsf::sim::SimTime injected = rsf::sim::SimTime::zero();
+  int hops = 0;
+  int retries = 0;
+};
+
+/// A flow request: `size` bytes from src to dst, injected as
+/// `packet_size` packets starting at `start`.
+struct FlowSpec {
+  FlowId id = kNoFlow;
+  phy::NodeId src = phy::kInvalidNode;
+  phy::NodeId dst = phy::kInvalidNode;
+  phy::DataSize size = phy::DataSize::zero();
+  phy::DataSize packet_size = phy::DataSize::bytes(1024);
+  rsf::sim::SimTime start = rsf::sim::SimTime::zero();
+};
+
+/// Completion record for a finished flow.
+struct FlowResult {
+  FlowSpec spec;
+  rsf::sim::SimTime started = rsf::sim::SimTime::zero();
+  rsf::sim::SimTime finished = rsf::sim::SimTime::zero();
+  std::uint64_t packets = 0;
+  std::uint64_t retransmits = 0;
+  bool failed = false;
+
+  [[nodiscard]] rsf::sim::SimTime completion_time() const { return finished - started; }
+};
+
+}  // namespace rsf::fabric

@@ -1,0 +1,95 @@
+// rsf::fabric — routing.
+//
+// The router answers one question per hop: given a packet at `node`
+// heading for `dst`, which usable link should it take? Two policies:
+//
+//  * kMinCost — Dijkstra over per-link costs. The default cost is the
+//    link's unloaded one-way latency for a reference frame plus a
+//    per-hop switching penalty; the Closed Ring Control overrides it
+//    with live price tags (paper §3.2), making routing congestion-,
+//    health- and power-aware.
+//  * kDimensionOrder — classic X-then-Y over grid/torus coordinates;
+//    the static baseline the paper's adaptive fabric is compared to.
+//
+// Distance tables are cached per destination and invalidated when the
+// topology version or the price generation changes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/topology.hpp"
+#include "phy/types.hpp"
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::fabric {
+
+enum class RoutingPolicy { kMinCost, kDimensionOrder };
+
+class Router {
+ public:
+  /// Cost of crossing a link, in arbitrary but consistent units.
+  using PriceFn = std::function<double(phy::LinkId)>;
+
+  Router(const Topology* topo, RoutingPolicy policy = RoutingPolicy::kMinCost);
+
+  [[nodiscard]] RoutingPolicy policy() const { return policy_; }
+  void set_policy(RoutingPolicy p);
+
+  /// Install live prices (CRC). Pass nullptr to restore the default
+  /// unloaded-latency cost. Bumps the price generation.
+  void set_price_fn(PriceFn fn);
+  /// Invalidate caches after in-place price changes.
+  void bump_prices() { ++price_generation_; }
+
+  /// Next usable link from `at` toward `dst`, or nullopt if
+  /// unreachable right now.
+  [[nodiscard]] std::optional<phy::LinkId> next_hop(phy::NodeId at, phy::NodeId dst);
+
+  /// Total min-cost from src to dst under current prices (kMinCost
+  /// semantics regardless of policy); nullopt if unreachable.
+  [[nodiscard]] std::optional<double> path_cost(phy::NodeId src, phy::NodeId dst);
+
+  /// Links of the current min-cost path (empty if unreachable).
+  [[nodiscard]] std::vector<phy::LinkId> path(phy::NodeId src, phy::NodeId dst);
+
+  /// Hop count of the current min-cost path; -1 if unreachable.
+  [[nodiscard]] int hop_count(phy::NodeId src, phy::NodeId dst);
+
+  /// The default (unloaded latency) cost of a link; exposed so the CRC
+  /// can build price tags as latency + penalties.
+  [[nodiscard]] double default_cost(phy::LinkId link) const;
+
+  /// Per-hop switching penalty included in default costs (ns units).
+  void set_hop_penalty_ns(double ns) {
+    hop_penalty_ns_ = ns;
+    ++price_generation_;
+  }
+
+ private:
+  struct DistTable {
+    std::uint64_t topo_version = 0;
+    std::uint64_t price_generation = 0;
+    // dist[node] = min cost node -> dst; kUnreachable if none.
+    std::vector<double> dist;
+  };
+
+  [[nodiscard]] double cost(phy::LinkId link) const;
+  const DistTable& table_for(phy::NodeId dst);
+
+  const Topology* topo_;
+  RoutingPolicy policy_;
+  PriceFn price_fn_;
+  std::uint64_t price_generation_ = 1;
+  double hop_penalty_ns_ = 450.0;  // cut-through pipeline, see SwitchParams
+  std::unordered_map<phy::NodeId, DistTable> tables_;
+
+  [[nodiscard]] std::optional<phy::LinkId> next_hop_min_cost(phy::NodeId at, phy::NodeId dst);
+  [[nodiscard]] std::optional<phy::LinkId> next_hop_dimension_order(phy::NodeId at,
+                                                                    phy::NodeId dst) const;
+};
+
+}  // namespace rsf::fabric

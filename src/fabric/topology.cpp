@@ -1,0 +1,74 @@
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsf::fabric {
+
+Topology::Topology(phy::PhysicalPlant* plant, plp::PlpEngine* engine,
+                   std::uint32_t node_count)
+    : plant_(plant), engine_(engine), node_count_(node_count) {
+  if (plant_ == nullptr || engine_ == nullptr) {
+    throw std::invalid_argument("Topology: null plant or engine");
+  }
+  engine_->add_topology_observer(
+      [this](const std::vector<phy::LinkId>& removed, const std::vector<phy::LinkId>& created) {
+        on_links_changed(removed, created);
+      });
+  engine_->add_readiness_observer([this](phy::LinkId, bool) { ++version_; });
+  // Physical failures change link usability without changing the link
+  // set: bump the version so routing tables refresh.
+  plant_->add_change_observer([this] { ++version_; });
+  rebuild();
+}
+
+void Topology::rebuild() {
+  links_at_.clear();
+  for (phy::LinkId id : plant_->link_ids()) {
+    const phy::LogicalLink& l = plant_->link(id);
+    links_at_[l.end_a()].push_back(id);
+    links_at_[l.end_b()].push_back(id);
+  }
+  for (auto& [_, v] : links_at_) std::sort(v.begin(), v.end());
+  ++version_;
+}
+
+void Topology::on_links_changed(const std::vector<phy::LinkId>&,
+                                const std::vector<phy::LinkId>&) {
+  // Change sets are small but touch arbitrary nodes; a full rebuild is
+  // O(links) and reconfigurations are rare relative to packet events.
+  rebuild();
+}
+
+const std::vector<phy::LinkId>& Topology::links_at(phy::NodeId node) const {
+  auto it = links_at_.find(node);
+  return it == links_at_.end() ? empty_ : it->second;
+}
+
+bool Topology::usable(phy::LinkId link) const {
+  return plant_->has_link(link) && plant_->link(link).ready() && !engine_->link_busy(link);
+}
+
+std::vector<phy::LinkId> Topology::usable_links_at(phy::NodeId node) const {
+  std::vector<phy::LinkId> out;
+  for (phy::LinkId id : links_at(node)) {
+    if (usable(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<phy::LinkId> Topology::link_between(phy::NodeId a, phy::NodeId b) const {
+  for (phy::LinkId id : links_at(a)) {
+    const phy::LogicalLink& l = plant_->link(id);
+    if (l.connects(b) && usable(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<Coord> Topology::coord(phy::NodeId node) const {
+  auto it = coords_.find(node);
+  if (it == coords_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rsf::fabric

@@ -1,0 +1,64 @@
+#include "phy/ber_profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rsf::phy {
+
+using rsf::sim::SimTime;
+
+BerProfile constant_ber(double ber) {
+  return [ber](SimTime) { return ber; };
+}
+
+BerProfile ramp_ber(double start_ber, double end_ber, SimTime from, SimTime to) {
+  if (!(start_ber > 0) || !(end_ber > 0)) {
+    throw std::invalid_argument("ramp_ber: BERs must be positive for a log ramp");
+  }
+  if (to <= from) throw std::invalid_argument("ramp_ber: to <= from");
+  const double log_start = std::log10(start_ber);
+  const double log_end = std::log10(end_ber);
+  return [=](SimTime t) {
+    if (t <= from) return start_ber;
+    if (t >= to) return end_ber;
+    const double f = (t - from).ratio(to - from);
+    return std::pow(10.0, log_start + f * (log_end - log_start));
+  };
+}
+
+BerProfile spike_ber(double base_ber, double spike, SimTime from, SimTime to) {
+  if (to <= from) throw std::invalid_argument("spike_ber: to <= from");
+  return [=](SimTime t) { return (t >= from && t < to) ? spike : base_ber; };
+}
+
+BerDriver::BerDriver(rsf::sim::Simulator* sim, PhysicalPlant* plant, CableId cable,
+                     BerProfile profile, SimTime period)
+    : sim_(sim), plant_(plant), cable_(cable), profile_(std::move(profile)), period_(period) {
+  if (sim_ == nullptr || plant_ == nullptr) {
+    throw std::invalid_argument("BerDriver: null simulator or plant");
+  }
+  if (!profile_) throw std::invalid_argument("BerDriver: empty profile");
+  if (period_ <= SimTime::zero()) throw std::invalid_argument("BerDriver: period <= 0");
+}
+
+void BerDriver::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void BerDriver::stop() {
+  running_ = false;
+  if (pending_ != rsf::sim::kInvalidEventId) {
+    sim_->cancel(pending_);
+    pending_ = rsf::sim::kInvalidEventId;
+  }
+}
+
+void BerDriver::tick() {
+  if (!running_) return;
+  plant_->set_cable_ber(cable_, profile_(sim_->now()));
+  pending_ = sim_->schedule_weak_after(period_, [this] { tick(); });
+}
+
+}  // namespace rsf::phy

@@ -1,0 +1,57 @@
+// rsf::phy — time-varying bit-error-rate environments.
+//
+// Real lanes see BER drift with temperature, ageing and crosstalk. The
+// adaptive-FEC experiments need a controllable environment: a BerProfile
+// maps simulation time to pre-FEC BER, and a BerDriver periodically
+// applies the profile to a cable inside the simulation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "phy/plant.hpp"
+#include "phy/types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::phy {
+
+/// BER as a function of simulation time.
+using BerProfile = std::function<double(rsf::sim::SimTime)>;
+
+/// A constant environment.
+[[nodiscard]] BerProfile constant_ber(double ber);
+
+/// Exponential ramp from `start_ber` at t=`from` to `end_ber` at
+/// t=`to` (log-linear interpolation — BER moves in decades), constant
+/// outside the window.
+[[nodiscard]] BerProfile ramp_ber(double start_ber, double end_ber, rsf::sim::SimTime from,
+                                  rsf::sim::SimTime to);
+
+/// Baseline BER with a burst window at `spike_ber` during [from, to).
+[[nodiscard]] BerProfile spike_ber(double base_ber, double spike_ber,
+                                   rsf::sim::SimTime from, rsf::sim::SimTime to);
+
+/// Applies a profile to a cable every `period`.
+class BerDriver {
+ public:
+  BerDriver(rsf::sim::Simulator* sim, PhysicalPlant* plant, CableId cable,
+            BerProfile profile, rsf::sim::SimTime period);
+
+  /// Begin periodic application (applies immediately, then every period).
+  void start();
+  void stop();
+
+ private:
+  void tick();
+
+  rsf::sim::Simulator* sim_;
+  PhysicalPlant* plant_;
+  CableId cable_;
+  BerProfile profile_;
+  rsf::sim::SimTime period_;
+  rsf::sim::EventId pending_ = rsf::sim::kInvalidEventId;
+  bool running_ = false;
+};
+
+}  // namespace rsf::phy

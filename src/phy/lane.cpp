@@ -1,0 +1,45 @@
+#include "phy/lane.hpp"
+
+#include <stdexcept>
+
+namespace rsf::phy {
+
+std::string_view to_string(LaneState s) {
+  switch (s) {
+    case LaneState::kOff:
+      return "off";
+    case LaneState::kTraining:
+      return "training";
+    case LaneState::kUp:
+      return "up";
+  }
+  return "?";
+}
+
+void Lane::begin_training() {
+  if (failed_) return;  // the PHY retrains in vain; the lane stays dark
+  // Training can be (re)entered from any state: power-on (off->training)
+  // or retrain after a re-bundle (up->training).
+  state_ = LaneState::kTraining;
+}
+
+void Lane::complete_training() {
+  if (failed_) return;
+  if (state_ != LaneState::kTraining) {
+    throw std::logic_error("Lane::complete_training: lane not training");
+  }
+  state_ = LaneState::kUp;
+}
+
+void Lane::power_off() {
+  if (!failed_) state_ = LaneState::kOff;
+}
+
+void Lane::fail() {
+  failed_ = true;
+  state_ = LaneState::kOff;
+}
+
+void Lane::repair() { failed_ = false; }
+
+}  // namespace rsf::phy

@@ -1,0 +1,93 @@
+#include "phy/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/plant.hpp"
+
+namespace rsf::phy {
+
+using rsf::sim::SimTime;
+
+NodeId LogicalLink::other_end(NodeId n) const {
+  if (n == end_a_) return end_b_;
+  if (n == end_b_) return end_a_;
+  throw std::invalid_argument("LogicalLink::other_end: node not an endpoint");
+}
+
+DataRate LogicalLink::raw_rate() const {
+  if (segments_.empty()) return DataRate::zero();
+  const LinkSegment& seg = segments_.front();
+  const Cable& c = plant_->cable(seg.cable);
+  DataRate r = DataRate::zero();
+  for (int lane : seg.lanes) r = r + c.lane(lane).rate();
+  return r;
+}
+
+DataRate LogicalLink::effective_rate() const { return fec_.effective_rate(raw_rate()); }
+
+SimTime LogicalLink::propagation_delay() const {
+  SimTime t = SimTime::zero();
+  for (const LinkSegment& seg : segments_) {
+    t += plant_->cable(seg.cable).propagation_delay();
+  }
+  if (bypass_joints() > 0) {
+    t += plant_->config().bypass_latency * static_cast<std::int64_t>(bypass_joints());
+  }
+  return t;
+}
+
+SimTime LogicalLink::serialization_delay(DataSize frame) const {
+  return transmission_time(frame, effective_rate());
+}
+
+SimTime LogicalLink::one_way_latency(DataSize frame) const {
+  return serialization_delay(frame) + propagation_delay() + fec_.latency;
+}
+
+double LogicalLink::worst_pre_fec_ber() const {
+  double worst = 0.0;
+  for (const LinkSegment& seg : segments_) {
+    const Cable& c = plant_->cable(seg.cable);
+    for (int lane : seg.lanes) worst = std::max(worst, c.lane(lane).pre_fec_ber());
+  }
+  return worst;
+}
+
+double LogicalLink::frame_loss_prob(DataSize frame) const {
+  // A frame crosses every segment; an uncorrectable error on any
+  // segment loses it. Segments share the FEC config, so combine the
+  // per-segment loss probabilities (worst-lane BER per segment).
+  double survive = 1.0;
+  for (const LinkSegment& seg : segments_) {
+    const Cable& c = plant_->cable(seg.cable);
+    double seg_ber = 0.0;
+    for (int lane : seg.lanes) seg_ber = std::max(seg_ber, c.lane(lane).pre_fec_ber());
+    survive *= 1.0 - fec_.frame_loss_prob(seg_ber, frame);
+  }
+  return 1.0 - survive;
+}
+
+double LogicalLink::post_fec_ber() const { return fec_.post_fec_ber(worst_pre_fec_ber()); }
+
+double LogicalLink::power_watts() const {
+  double w = 0.0;
+  for (const LinkSegment& seg : segments_) {
+    const Cable& c = plant_->cable(seg.cable);
+    for (int lane : seg.lanes) w += c.lane(lane).power_watts();
+  }
+  w += plant_->config().bypass_power_w * bypass_joints();
+  return w;
+}
+
+bool LogicalLink::ready() const {
+  for (const LinkSegment& seg : segments_) {
+    const Cable& c = plant_->cable(seg.cable);
+    for (int lane : seg.lanes) {
+      if (!c.lane(lane).is_up()) return false;
+    }
+  }
+  return !segments_.empty();
+}
+
+}  // namespace rsf::phy

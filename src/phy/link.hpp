@@ -1,0 +1,107 @@
+// rsf::phy — logical links.
+//
+// A logical link is what routing and flow scheduling see: a pipe
+// between two nodes with a rate, a latency, an error model and a power
+// draw. Under the hood it is an ordered chain of cable segments joined
+// by physical-layer bypasses (PLP #2); a plain adjacent link is the
+// one-segment special case. Splitting/bundling (PLP #1) rearranges the
+// lanes each segment uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/fec.hpp"
+#include "phy/types.hpp"
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::phy {
+
+class PhysicalPlant;
+
+/// One hop of a logical link across one cable, using a subset of that
+/// cable's lanes.
+struct LinkSegment {
+  CableId cable = kInvalidCable;
+  std::vector<int> lanes;
+};
+
+class LogicalLink {
+ public:
+  LogicalLink(const PhysicalPlant* plant, LinkId id, NodeId end_a, NodeId end_b,
+              std::vector<LinkSegment> segments, FecSpec fec)
+      : plant_(plant),
+        id_(id),
+        end_a_(end_a),
+        end_b_(end_b),
+        segments_(std::move(segments)),
+        fec_(fec) {}
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] NodeId end_a() const { return end_a_; }
+  [[nodiscard]] NodeId end_b() const { return end_b_; }
+  [[nodiscard]] bool connects(NodeId n) const { return n == end_a_ || n == end_b_; }
+  [[nodiscard]] NodeId other_end(NodeId n) const;
+
+  [[nodiscard]] const std::vector<LinkSegment>& segments() const { return segments_; }
+  /// Number of physical bypass joints traffic crosses (segments - 1).
+  [[nodiscard]] int bypass_joints() const { return static_cast<int>(segments_.size()) - 1; }
+
+  [[nodiscard]] const FecSpec& fec() const { return fec_; }
+
+  /// Lanes per segment (equal across segments by construction).
+  [[nodiscard]] int lane_count() const {
+    return segments_.empty() ? 0 : static_cast<int>(segments_.front().lanes.size());
+  }
+
+  // --- Derived transport metrics (computed against the owning plant) ---
+
+  /// Sum of member lane rates of one segment (all segments equal).
+  [[nodiscard]] DataRate raw_rate() const;
+  /// Raw rate minus FEC overhead — what payload actually gets.
+  [[nodiscard]] DataRate effective_rate() const;
+  /// End-to-end propagation: cable flight times + per-joint bypass
+  /// latency. No switching logic is traversed at joints — that is the
+  /// point of PLP #2.
+  [[nodiscard]] rsf::sim::SimTime propagation_delay() const;
+  /// Serialization of `frame` at the effective rate.
+  [[nodiscard]] rsf::sim::SimTime serialization_delay(DataSize frame) const;
+  /// serialization + propagation + FEC codec latency for one frame.
+  [[nodiscard]] rsf::sim::SimTime one_way_latency(DataSize frame) const;
+
+  /// Worst pre-FEC BER across all member lanes (conservative link BER).
+  [[nodiscard]] double worst_pre_fec_ber() const;
+  /// Probability a frame is lost to uncorrectable errors end-to-end.
+  [[nodiscard]] double frame_loss_prob(DataSize frame) const;
+  /// Residual post-FEC BER at the link's current worst-lane BER.
+  [[nodiscard]] double post_fec_ber() const;
+
+  /// Member-lane power plus bypass-joint power.
+  [[nodiscard]] double power_watts() const;
+
+  /// True when every member lane is up (link can carry traffic).
+  [[nodiscard]] bool ready() const;
+
+  /// Reservation: a link handed to one flow as a dedicated circuit.
+  /// Reserved links are invisible to general routing; only the owning
+  /// flow's packets cross them. Cleared implicitly by any structural
+  /// operation (the successor links start unreserved).
+  [[nodiscard]] const std::optional<std::uint64_t>& reserved_for() const {
+    return reserved_for_;
+  }
+
+ private:
+  friend class PhysicalPlant;
+  std::optional<std::uint64_t> reserved_for_;
+
+  const PhysicalPlant* plant_;
+  LinkId id_;
+  NodeId end_a_;
+  NodeId end_b_;
+  std::vector<LinkSegment> segments_;
+  FecSpec fec_;
+};
+
+}  // namespace rsf::phy

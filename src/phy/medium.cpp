@@ -1,0 +1,35 @@
+#include "phy/medium.hpp"
+
+namespace rsf::phy {
+
+using rsf::sim::SimTime;
+
+std::string_view to_string(Medium m) {
+  switch (m) {
+    case Medium::kFiber:
+      return "fiber";
+    case Medium::kCopper:
+      return "copper";
+    case Medium::kFreeSpaceOptic:
+      return "free-space";
+  }
+  return "?";
+}
+
+SimTime propagation_per_meter(Medium m) {
+  switch (m) {
+    case Medium::kFiber:
+      return SimTime::picoseconds(5000);  // n ~ 1.5
+    case Medium::kCopper:
+      return SimTime::picoseconds(4300);
+    case Medium::kFreeSpaceOptic:
+      return SimTime::picoseconds(3336);  // c in vacuum
+  }
+  return SimTime::picoseconds(5000);
+}
+
+SimTime propagation_delay(Medium m, double meters) {
+  return propagation_per_meter(m) * meters;
+}
+
+}  // namespace rsf::phy

@@ -1,0 +1,463 @@
+#include "phy/plant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsf::phy {
+
+CableId PhysicalPlant::add_cable(NodeId a, NodeId b, double length_m, Medium medium,
+                                 int lane_count, DataRate lane_rate,
+                                 LanePowerParams lane_power, double initial_ber) {
+  const auto id = static_cast<CableId>(cables_.size());
+  cables_.push_back(std::make_unique<Cable>(id, a, b, length_m, medium, lane_count,
+                                            lane_rate, lane_power, initial_ber));
+  return id;
+}
+
+Cable& PhysicalPlant::cable(CableId id) {
+  if (id >= cables_.size()) throw std::out_of_range("PhysicalPlant::cable: bad id");
+  return *cables_[id];
+}
+
+const Cable& PhysicalPlant::cable(CableId id) const {
+  if (id >= cables_.size()) throw std::out_of_range("PhysicalPlant::cable: bad id");
+  return *cables_[id];
+}
+
+std::optional<CableId> PhysicalPlant::find_cable(NodeId a, NodeId b) const {
+  for (const auto& c : cables_) {
+    if ((c->end_a() == a && c->end_b() == b) || (c->end_a() == b && c->end_b() == a)) {
+      return c->id();
+    }
+  }
+  return std::nullopt;
+}
+
+void PhysicalPlant::check_segments(NodeId end_a, NodeId end_b,
+                                   const std::vector<LinkSegment>& segments) const {
+  if (segments.empty()) throw std::invalid_argument("link: no segments");
+  if (end_a == end_b) throw std::invalid_argument("link: end_a == end_b");
+
+  const std::size_t lanes_per_segment = segments.front().lanes.size();
+  if (lanes_per_segment == 0) throw std::invalid_argument("link: zero lanes");
+
+  NodeId cursor = end_a;
+  for (const LinkSegment& seg : segments) {
+    if (seg.cable >= cables_.size()) throw std::invalid_argument("link: unknown cable");
+    const Cable& c = *cables_[seg.cable];
+    if (!c.connects(cursor)) {
+      throw std::invalid_argument("link: segment chain broken at node " +
+                                  std::to_string(cursor));
+    }
+    if (seg.lanes.size() != lanes_per_segment) {
+      throw std::invalid_argument("link: unequal lane counts across segments");
+    }
+    std::set<int> unique(seg.lanes.begin(), seg.lanes.end());
+    if (unique.size() != seg.lanes.size()) {
+      throw std::invalid_argument("link: duplicate lane in segment");
+    }
+    for (int lane : seg.lanes) {
+      if (lane < 0 || lane >= c.lane_count()) {
+        throw std::invalid_argument("link: lane index out of range");
+      }
+      if (lane_owner_.contains(LaneRef{seg.cable, lane})) {
+        throw std::invalid_argument("link: lane already owned (cable " +
+                                    std::to_string(seg.cable) + " lane " +
+                                    std::to_string(lane) + ")");
+      }
+    }
+    cursor = c.other_end(cursor);
+  }
+  if (cursor != end_b) {
+    throw std::invalid_argument("link: segment chain does not terminate at end_b");
+  }
+}
+
+void PhysicalPlant::claim_lanes(const std::vector<LinkSegment>& segments, LinkId id) {
+  for (const LinkSegment& seg : segments) {
+    for (int lane : seg.lanes) lane_owner_.emplace(LaneRef{seg.cable, lane}, id);
+  }
+}
+
+void PhysicalPlant::release_lanes(const std::vector<LinkSegment>& segments) {
+  for (const LinkSegment& seg : segments) {
+    for (int lane : seg.lanes) lane_owner_.erase(LaneRef{seg.cable, lane});
+  }
+}
+
+LinkId PhysicalPlant::install_link(NodeId end_a, NodeId end_b,
+                                   std::vector<LinkSegment> segments, FecSpec fec) {
+  // Internal callers (split/bundle/join/sever) construct segments from
+  // already-valid links, but re-validating is cheap defence in depth.
+  check_segments(end_a, end_b, segments);
+  const LinkId id = next_link_id_++;
+  claim_lanes(segments, id);
+  links_.emplace(id, std::make_unique<LogicalLink>(this, id, end_a, end_b,
+                                                   std::move(segments), fec));
+  return id;
+}
+
+LinkId PhysicalPlant::create_link(NodeId end_a, NodeId end_b,
+                                  std::vector<LinkSegment> segments, FecSpec fec) {
+  return install_link(end_a, end_b, std::move(segments), fec);
+}
+
+LinkId PhysicalPlant::create_adjacent_link(CableId cable_id, std::vector<int> lanes,
+                                           FecSpec fec) {
+  const Cable& c = cable(cable_id);
+  std::vector<LinkSegment> segs{LinkSegment{cable_id, std::move(lanes)}};
+  return create_link(c.end_a(), c.end_b(), std::move(segs), fec);
+}
+
+void PhysicalPlant::destroy_link(LinkId id) {
+  auto it = links_.find(id);
+  if (it == links_.end()) throw std::invalid_argument("destroy_link: unknown link");
+  release_lanes(it->second->segments());
+  links_.erase(it);
+}
+
+const LogicalLink& PhysicalPlant::link(LinkId id) const {
+  auto it = links_.find(id);
+  if (it == links_.end()) throw std::invalid_argument("link: unknown id");
+  return *it->second;
+}
+
+LogicalLink& PhysicalPlant::mutable_link(LinkId id) {
+  auto it = links_.find(id);
+  if (it == links_.end()) throw std::invalid_argument("link: unknown id");
+  return *it->second;
+}
+
+std::vector<LinkId> PhysicalPlant::link_ids() const {
+  std::vector<LinkId> ids;
+  ids.reserve(links_.size());
+  for (const auto& [id, _] : links_) ids.push_back(id);
+  return ids;
+}
+
+std::pair<LinkId, LinkId> PhysicalPlant::split_link(LinkId id, int k) {
+  const LogicalLink& l = link(id);
+  const int n = l.lane_count();
+  if (k <= 0 || k >= n) {
+    throw std::invalid_argument("split_link: need 0 < k < lane_count");
+  }
+  std::vector<LinkSegment> first_segs;
+  std::vector<LinkSegment> second_segs;
+  first_segs.reserve(l.segments().size());
+  second_segs.reserve(l.segments().size());
+  for (const LinkSegment& seg : l.segments()) {
+    LinkSegment a{seg.cable, {seg.lanes.begin(), seg.lanes.begin() + k}};
+    LinkSegment b{seg.cable, {seg.lanes.begin() + k, seg.lanes.end()}};
+    first_segs.push_back(std::move(a));
+    second_segs.push_back(std::move(b));
+  }
+  const NodeId ea = l.end_a();
+  const NodeId eb = l.end_b();
+  const FecSpec fec = l.fec();
+  destroy_link(id);
+  const LinkId first = install_link(ea, eb, std::move(first_segs), fec);
+  const LinkId second = install_link(ea, eb, std::move(second_segs), fec);
+  return {first, second};
+}
+
+LinkId PhysicalPlant::bundle_links(LinkId first, LinkId second) {
+  if (first == second) throw std::invalid_argument("bundle_links: same link");
+  const LogicalLink& a = link(first);
+  const LogicalLink& b = link(second);
+
+  // Orient b's segments to match a.
+  std::vector<LinkSegment> b_segs = b.segments();
+  if (a.end_a() == b.end_b() && a.end_b() == b.end_a()) {
+    std::reverse(b_segs.begin(), b_segs.end());
+  } else if (!(a.end_a() == b.end_a() && a.end_b() == b.end_b())) {
+    throw std::invalid_argument("bundle_links: endpoint mismatch");
+  }
+  if (a.segments().size() != b_segs.size()) {
+    throw std::invalid_argument("bundle_links: segment count mismatch");
+  }
+  std::vector<LinkSegment> merged;
+  merged.reserve(a.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    if (a.segments()[i].cable != b_segs[i].cable) {
+      throw std::invalid_argument("bundle_links: cable chain mismatch");
+    }
+    LinkSegment seg{a.segments()[i].cable, a.segments()[i].lanes};
+    seg.lanes.insert(seg.lanes.end(), b_segs[i].lanes.begin(), b_segs[i].lanes.end());
+    merged.push_back(std::move(seg));
+  }
+  const NodeId ea = a.end_a();
+  const NodeId eb = a.end_b();
+  const FecSpec fec = a.fec();
+  destroy_link(first);
+  destroy_link(second);
+  return install_link(ea, eb, std::move(merged), fec);
+}
+
+LinkId PhysicalPlant::bypass_join(LinkId first, LinkId second) {
+  if (first == second) throw std::invalid_argument("bypass_join: same link");
+  const LogicalLink& a = link(first);
+  const LogicalLink& b = link(second);
+  if (a.lane_count() != b.lane_count()) {
+    throw std::invalid_argument("bypass_join: lane count mismatch");
+  }
+
+  // Find the single shared endpoint.
+  NodeId joint = kInvalidNode;
+  for (NodeId n : {a.end_a(), a.end_b()}) {
+    if (b.connects(n)) {
+      if (joint != kInvalidNode) {
+        throw std::invalid_argument("bypass_join: links share both endpoints");
+      }
+      joint = n;
+    }
+  }
+  if (joint == kInvalidNode) {
+    throw std::invalid_argument("bypass_join: links share no endpoint");
+  }
+  const NodeId new_a = a.other_end(joint);
+  const NodeId new_b = b.other_end(joint);
+  if (new_a == new_b) {
+    throw std::invalid_argument("bypass_join: would create a loop");
+  }
+
+  // Orient a to run new_a -> joint and b to run joint -> new_b.
+  std::vector<LinkSegment> segs = a.segments();
+  if (a.end_b() != joint) std::reverse(segs.begin(), segs.end());
+  std::vector<LinkSegment> b_segs = b.segments();
+  if (b.end_a() != joint) std::reverse(b_segs.begin(), b_segs.end());
+  segs.insert(segs.end(), std::make_move_iterator(b_segs.begin()),
+              std::make_move_iterator(b_segs.end()));
+
+  const FecSpec fec = a.fec();
+  destroy_link(first);
+  destroy_link(second);
+  return install_link(new_a, new_b, std::move(segs), fec);
+}
+
+std::pair<LinkId, LinkId> PhysicalPlant::bypass_sever(LinkId id, NodeId at) {
+  const LogicalLink& l = link(id);
+  if (l.segments().size() < 2) {
+    throw std::invalid_argument("bypass_sever: link has no bypass joints");
+  }
+  // Walk the node path end_a, n1, ..., end_b; interior joints are the
+  // nodes between consecutive segments.
+  std::size_t split_idx = 0;
+  NodeId cursor = l.end_a();
+  for (std::size_t i = 1; i < l.segments().size(); ++i) {
+    cursor = cable(l.segments()[i - 1].cable).other_end(cursor);
+    if (cursor == at) {
+      split_idx = i;
+      break;
+    }
+  }
+  if (split_idx == 0) {
+    throw std::invalid_argument("bypass_sever: node is not an interior joint");
+  }
+  std::vector<LinkSegment> first_segs(l.segments().begin(),
+                                      l.segments().begin() + static_cast<long>(split_idx));
+  std::vector<LinkSegment> second_segs(l.segments().begin() + static_cast<long>(split_idx),
+                                       l.segments().end());
+  const NodeId ea = l.end_a();
+  const NodeId eb = l.end_b();
+  const FecSpec fec = l.fec();
+  destroy_link(id);
+  const LinkId f = install_link(ea, at, std::move(first_segs), fec);
+  const LinkId s = install_link(at, eb, std::move(second_segs), fec);
+  return {f, s};
+}
+
+void PhysicalPlant::for_each_lane(const LogicalLink& l,
+                                  const std::function<void(Lane&)>& fn) {
+  for (const LinkSegment& seg : l.segments()) {
+    Cable& c = cable(seg.cable);
+    for (int lane : seg.lanes) fn(c.lane(lane));
+  }
+}
+
+void PhysicalPlant::lane_begin_training(LinkId id) {
+  for_each_lane(mutable_link(id), [](Lane& l) { l.begin_training(); });
+}
+
+void PhysicalPlant::lane_complete_training(LinkId id) {
+  for_each_lane(mutable_link(id), [](Lane& l) { l.complete_training(); });
+}
+
+void PhysicalPlant::lane_power_off(LinkId id) {
+  for_each_lane(mutable_link(id), [](Lane& l) { l.power_off(); });
+}
+
+void PhysicalPlant::set_fec(LinkId id, FecSpec fec) { mutable_link(id).fec_ = fec; }
+
+void PhysicalPlant::set_reservation(LinkId id, std::optional<std::uint64_t> flow) {
+  mutable_link(id).reserved_for_ = flow;
+}
+
+void PhysicalPlant::account_bits(LinkId id, std::int64_t bits) {
+  LogicalLink& l = mutable_link(id);
+  const int lanes = l.lane_count();
+  if (lanes == 0 || bits <= 0) return;
+  const auto per_lane = static_cast<std::uint64_t>(bits / lanes);
+  for_each_lane(l, [per_lane](Lane& lane) { lane.mutable_stats().bits_carried += per_lane; });
+}
+
+void PhysicalPlant::account_frame(LinkId id, DataSize frame, rsf::sim::RandomStream& rng) {
+  LogicalLink& l = mutable_link(id);
+  const int lanes = l.lane_count();
+  if (lanes == 0 || frame.bit_count() <= 0) return;
+  const FecSpec& fec = l.fec();
+  account_bits(id, frame.bit_count());
+  if (fec.n == 0) return;  // uncoded: no decoder telemetry
+  // Codewords per frame, striped across lanes.
+  const double payload_per_cw = static_cast<double>(fec.k * fec.symbol_bits);
+  const double cw_total = std::ceil(static_cast<double>(frame.bit_count()) / payload_per_cw);
+  for (const LinkSegment& seg : l.segments()) {
+    Cable& c = cable(seg.cable);
+    for (int lane_idx : seg.lanes) {
+      Lane& lane = c.lane(lane_idx);
+      const double ber = lane.pre_fec_ber();
+      if (ber <= 0) continue;
+      // Mean corrected codewords on this lane: its share of codeword
+      // symbols times the symbol error rate (small-p approximation:
+      // one corrected codeword per symbol error).
+      const double p_sym = 1.0 - std::pow(1.0 - ber, fec.symbol_bits);
+      const double mean = cw_total / lanes * fec.n * p_sym;
+      lane.mutable_stats().corrected_codewords += rng.poisson(mean);
+    }
+  }
+}
+
+double PhysicalPlant::estimated_pre_fec_ber(LinkId id) const {
+  const LogicalLink& l = link(id);
+  const FecSpec& fec = l.fec();
+  if (fec.n == 0) return 0.0;
+  double worst = 0.0;
+  for (const LinkSegment& seg : l.segments()) {
+    const Cable& c = cable(seg.cable);
+    for (int lane_idx : seg.lanes) {
+      const LaneStats& st = c.lane(lane_idx).stats();
+      if (st.bits_carried == 0) continue;
+      // Symbols this lane has carried, including parity expansion.
+      const double symbols = static_cast<double>(st.bits_carried) *
+                             (static_cast<double>(fec.n) / fec.k) / fec.symbol_bits;
+      if (symbols <= 0) continue;
+      const double p_sym = static_cast<double>(st.corrected_codewords) / symbols;
+      // Invert the symbol error rate to a bit error rate.
+      const double ber = p_sym >= 1.0 ? 1.0
+                                      : -std::expm1(std::log1p(-p_sym) / fec.symbol_bits);
+      worst = std::max(worst, ber);
+    }
+  }
+  return worst;
+}
+
+void PhysicalPlant::set_cable_ber(CableId id, double ber) {
+  Cable& c = cable(id);
+  for (int i = 0; i < c.lane_count(); ++i) c.lane(i).set_pre_fec_ber(ber);
+}
+
+void PhysicalPlant::fail_lane(LaneRef ref) {
+  cable(ref.cable).lane(ref.lane).fail();
+  for (const auto& obs : change_observers_) obs();
+}
+
+void PhysicalPlant::repair_lane(LaneRef ref) {
+  cable(ref.cable).lane(ref.lane).repair();
+  for (const auto& obs : change_observers_) obs();
+}
+
+std::vector<int> PhysicalPlant::failed_lanes(CableId cable_id) const {
+  const Cable& c = cable(cable_id);
+  std::vector<int> out;
+  for (int i = 0; i < c.lane_count(); ++i) {
+    if (c.lane(i).is_failed()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<LaneRef> PhysicalPlant::failed_lanes_of_link(LinkId id) const {
+  const LogicalLink& l = link(id);
+  std::vector<LaneRef> out;
+  for (const LinkSegment& seg : l.segments()) {
+    const Cable& c = cable(seg.cable);
+    for (int lane : seg.lanes) {
+      if (c.lane(lane).is_failed()) out.push_back(LaneRef{seg.cable, lane});
+    }
+  }
+  return out;
+}
+
+double PhysicalPlant::total_power_watts() const {
+  double w = 0;
+  for (const auto& c : cables_) w += c->power_watts();
+  w += config_.bypass_power_w * total_bypass_joints();
+  return w;
+}
+
+int PhysicalPlant::total_bypass_joints() const {
+  int joints = 0;
+  for (const auto& [_, l] : links_) joints += l->bypass_joints();
+  return joints;
+}
+
+std::optional<LinkId> PhysicalPlant::lane_owner(LaneRef ref) const {
+  auto it = lane_owner_.find(ref);
+  if (it == lane_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<int> PhysicalPlant::free_lanes(CableId cable_id) const {
+  const Cable& c = cable(cable_id);
+  std::vector<int> out;
+  for (int i = 0; i < c.lane_count(); ++i) {
+    if (!lane_owner_.contains(LaneRef{cable_id, i})) out.push_back(i);
+  }
+  return out;
+}
+
+std::string PhysicalPlant::validate() const {
+  std::unordered_map<LaneRef, LinkId> recomputed;
+  for (const auto& [id, l] : links_) {
+    // I2 + I3 + I4 via the same checker used at creation, but lanes are
+    // owned (by this link), so re-check ownership separately.
+    const std::size_t lanes_per_segment =
+        l->segments().empty() ? 0 : l->segments().front().lanes.size();
+    if (lanes_per_segment == 0) return "link " + std::to_string(id) + ": zero lanes";
+    NodeId cursor = l->end_a();
+    for (const LinkSegment& seg : l->segments()) {
+      if (seg.cable >= cables_.size()) return "link " + std::to_string(id) + ": bad cable";
+      const Cable& c = *cables_[seg.cable];
+      if (!c.connects(cursor)) return "link " + std::to_string(id) + ": broken chain";
+      if (seg.lanes.size() != lanes_per_segment) {
+        return "link " + std::to_string(id) + ": unequal lane counts";
+      }
+      for (int lane : seg.lanes) {
+        if (lane < 0 || lane >= c.lane_count()) {
+          return "link " + std::to_string(id) + ": lane out of range";
+        }
+        const LaneRef ref{seg.cable, lane};
+        if (recomputed.contains(ref)) {
+          return "lane (" + std::to_string(seg.cable) + "," + std::to_string(lane) +
+                 ") owned by two links";  // violates I1
+        }
+        recomputed.emplace(ref, id);
+      }
+      cursor = c.other_end(cursor);
+    }
+    if (cursor != l->end_b()) return "link " + std::to_string(id) + ": wrong terminus";
+  }
+  if (recomputed.size() != lane_owner_.size()) {
+    return "lane ownership table out of sync";
+  }
+  for (const auto& [ref, id] : recomputed) {
+    auto it = lane_owner_.find(ref);
+    if (it == lane_owner_.end() || it->second != id) {
+      return "lane ownership table entry mismatch";
+    }
+  }
+  return {};
+}
+
+}  // namespace rsf::phy

@@ -1,0 +1,40 @@
+// rsf::phy — shared identifier types for the physical plant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rsf::phy {
+
+/// A node (endpoint) in the rack: a stripped-down component board
+/// (compute, NVMe, DRAM pool...) with a switching element and PHY ports.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// A physical cable (bundle of lanes) between two adjacent nodes.
+using CableId = std::uint32_t;
+inline constexpr CableId kInvalidCable = 0xFFFFFFFFu;
+
+/// A logical link: what routing sees. May span several cables joined
+/// by physical-layer bypasses.
+using LinkId = std::uint32_t;
+inline constexpr LinkId kInvalidLink = 0xFFFFFFFFu;
+
+/// One lane within one cable.
+struct LaneRef {
+  CableId cable = kInvalidCable;
+  int lane = -1;
+
+  friend bool operator==(const LaneRef&, const LaneRef&) = default;
+  friend auto operator<=>(const LaneRef&, const LaneRef&) = default;
+};
+
+}  // namespace rsf::phy
+
+template <>
+struct std::hash<rsf::phy::LaneRef> {
+  std::size_t operator()(const rsf::phy::LaneRef& r) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(r.cable) << 32) ^
+                                      static_cast<std::uint32_t>(r.lane));
+  }
+};

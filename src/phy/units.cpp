@@ -1,0 +1,41 @@
+#include "phy/units.hpp"
+
+#include <cstdio>
+
+namespace rsf::phy {
+
+std::string DataSize::to_string() const {
+  char buf[64];
+  const double bytes = byte_count();
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+std::string DataRate::to_string() const {
+  char buf[64];
+  if (bps_ >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fGbps", bps_ / 1e9);
+  } else if (bps_ >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fMbps", bps_ / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fbps", bps_);
+  }
+  return buf;
+}
+
+rsf::sim::SimTime transmission_time(DataSize size, DataRate rate) {
+  if (size.bit_count() <= 0) return rsf::sim::SimTime::zero();
+  if (rate.is_zero()) return rsf::sim::SimTime::infinity();
+  const double seconds = static_cast<double>(size.bit_count()) / rate.bits_per_second();
+  return rsf::sim::SimTime::picoseconds(static_cast<std::int64_t>(seconds * 1e12 + 0.5));
+}
+
+}  // namespace rsf::phy

@@ -1,0 +1,91 @@
+// rsf::phy — physical-layer units.
+//
+// Strong types for data rates and sizes so Gb/s, GB and lane counts
+// cannot be confused, plus the one conversion everything needs:
+// size / rate = time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rsf::phy {
+
+/// A data size in bits. Factories for bytes and common frame sizes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bits(std::int64_t b) { return DataSize(b); }
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t b) { return DataSize(b * 8); }
+  [[nodiscard]] static constexpr DataSize kilobytes(double kb) {
+    return DataSize(static_cast<std::int64_t>(kb * 8e3));
+  }
+  [[nodiscard]] static constexpr DataSize megabytes(double mb) {
+    return DataSize(static_cast<std::int64_t>(mb * 8e6));
+  }
+  [[nodiscard]] static constexpr DataSize gigabytes(double gb) {
+    return DataSize(static_cast<std::int64_t>(gb * 8e9));
+  }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize(0); }
+
+  [[nodiscard]] constexpr std::int64_t bit_count() const { return bits_; }
+  [[nodiscard]] constexpr double byte_count() const { return static_cast<double>(bits_) / 8.0; }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+  friend constexpr DataSize operator+(DataSize a, DataSize b) { return DataSize(a.bits_ + b.bits_); }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) { return DataSize(a.bits_ - b.bits_); }
+  friend constexpr DataSize operator*(DataSize a, std::int64_t k) { return DataSize(a.bits_ * k); }
+  constexpr DataSize& operator+=(DataSize rhs) {
+    bits_ += rhs.bits_;
+    return *this;
+  }
+  constexpr DataSize& operator-=(DataSize rhs) {
+    bits_ -= rhs.bits_;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr DataSize(std::int64_t b) : bits_(b) {}
+  std::int64_t bits_ = 0;
+};
+
+/// A data rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bps(double v) { return DataRate(v); }
+  [[nodiscard]] static constexpr DataRate gbps(double v) { return DataRate(v * 1e9); }
+  [[nodiscard]] static constexpr DataRate mbps(double v) { return DataRate(v * 1e6); }
+  [[nodiscard]] static constexpr DataRate zero() { return DataRate(0); }
+
+  [[nodiscard]] constexpr double bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double gbps_value() const { return bps_ / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+  friend constexpr DataRate operator+(DataRate a, DataRate b) { return DataRate(a.bps_ + b.bps_); }
+  friend constexpr DataRate operator-(DataRate a, DataRate b) { return DataRate(a.bps_ - b.bps_); }
+  friend constexpr DataRate operator*(DataRate a, double k) { return DataRate(a.bps_ * k); }
+  friend constexpr DataRate operator*(double k, DataRate a) { return DataRate(k * a.bps_); }
+  friend constexpr double operator/(DataRate a, DataRate b) { return a.bps_ / b.bps_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr DataRate(double bps) : bps_(bps) {}
+  double bps_ = 0;
+};
+
+/// Time to clock `size` onto a medium at `rate`. Infinite rate or zero
+/// size degenerate to zero; zero rate yields SimTime::infinity().
+[[nodiscard]] rsf::sim::SimTime transmission_time(DataSize size, DataRate rate);
+
+}  // namespace rsf::phy

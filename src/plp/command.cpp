@@ -1,0 +1,45 @@
+#include "plp/command.hpp"
+
+namespace rsf::plp {
+
+namespace {
+
+struct RefVisitor {
+  std::vector<phy::LinkId> operator()(const SplitCommand& c) const { return {c.link}; }
+  std::vector<phy::LinkId> operator()(const BundleCommand& c) const {
+    return {c.first, c.second};
+  }
+  std::vector<phy::LinkId> operator()(const BypassJoinCommand& c) const {
+    return {c.first, c.second};
+  }
+  std::vector<phy::LinkId> operator()(const BypassSeverCommand& c) const { return {c.link}; }
+  std::vector<phy::LinkId> operator()(const BringUpCommand& c) const { return {c.link}; }
+  std::vector<phy::LinkId> operator()(const ShutdownCommand& c) const { return {c.link}; }
+  std::vector<phy::LinkId> operator()(const SetFecCommand& c) const { return {c.link}; }
+  std::vector<phy::LinkId> operator()(const QueryStatsCommand& c) const { return {c.link}; }
+  std::vector<phy::LinkId> operator()(const ProvisionCommand&) const { return {}; }
+  std::vector<phy::LinkId> operator()(const DecommissionCommand& c) const { return {c.link}; }
+};
+
+struct NameVisitor {
+  std::string operator()(const SplitCommand&) const { return "split"; }
+  std::string operator()(const BundleCommand&) const { return "bundle"; }
+  std::string operator()(const BypassJoinCommand&) const { return "bypass-join"; }
+  std::string operator()(const BypassSeverCommand&) const { return "bypass-sever"; }
+  std::string operator()(const BringUpCommand&) const { return "bring-up"; }
+  std::string operator()(const ShutdownCommand&) const { return "shutdown"; }
+  std::string operator()(const SetFecCommand&) const { return "set-fec"; }
+  std::string operator()(const QueryStatsCommand&) const { return "query-stats"; }
+  std::string operator()(const ProvisionCommand&) const { return "provision"; }
+  std::string operator()(const DecommissionCommand&) const { return "decommission"; }
+};
+
+}  // namespace
+
+std::vector<phy::LinkId> referenced_links(const PlpCommand& cmd) {
+  return std::visit(RefVisitor{}, cmd);
+}
+
+std::string command_name(const PlpCommand& cmd) { return std::visit(NameVisitor{}, cmd); }
+
+}  // namespace rsf::plp

@@ -1,0 +1,121 @@
+// rsf::plp — the Physical Layer Primitive command set (paper §3.1).
+//
+// Commands are the wire format between the Closed Ring Control and the
+// physical layer. Each command names links by id; execution is
+// asynchronous (primitives take real time to actuate) and completes
+// with a PlpResult describing the links destroyed/created.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "phy/fec.hpp"
+#include "phy/lane.hpp"
+#include "phy/types.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::plp {
+
+/// PLP #1a — break a link of N lanes into k and N-k lane links.
+struct SplitCommand {
+  phy::LinkId link = phy::kInvalidLink;
+  int k = 0;
+};
+
+/// PLP #1b — re-bundle two parallel links into one.
+struct BundleCommand {
+  phy::LinkId first = phy::kInvalidLink;
+  phy::LinkId second = phy::kInvalidLink;
+};
+
+/// PLP #2a — join two links at their shared node, bypassing its
+/// switching logic at the lowest physical level.
+struct BypassJoinCommand {
+  phy::LinkId first = phy::kInvalidLink;
+  phy::LinkId second = phy::kInvalidLink;
+};
+
+/// PLP #2b — undo a bypass at an interior node.
+struct BypassSeverCommand {
+  phy::LinkId link = phy::kInvalidLink;
+  phy::NodeId at = phy::kInvalidNode;
+};
+
+/// PLP #3a — power a link's lanes on and train them.
+struct BringUpCommand {
+  phy::LinkId link = phy::kInvalidLink;
+};
+
+/// PLP #3b — power a link's lanes off.
+struct ShutdownCommand {
+  phy::LinkId link = phy::kInvalidLink;
+};
+
+/// PLP #4 — switch a link's FEC mode (brief datapath pause).
+struct SetFecCommand {
+  phy::LinkId link = phy::kInvalidLink;
+  phy::FecScheme scheme = phy::FecScheme::kNone;
+};
+
+/// PLP #1+#3 composite — stand up a brand-new adjacent link over
+/// explicit lanes of one cable (dark-lane provisioning: how the CRC
+/// replaces failed lanes and grows capacity on demand).
+struct ProvisionCommand {
+  phy::CableId cable = phy::kInvalidCable;
+  std::vector<int> lanes;
+  phy::FecScheme fec = phy::FecScheme::kNone;
+};
+
+/// Inverse of ProvisionCommand: drain, power off and release a link's
+/// lanes back to the dark pool.
+struct DecommissionCommand {
+  phy::LinkId link = phy::kInvalidLink;
+};
+
+/// PLP #5 — sample a link's statistics.
+struct QueryStatsCommand {
+  phy::LinkId link = phy::kInvalidLink;
+};
+
+using PlpCommand =
+    std::variant<SplitCommand, BundleCommand, BypassJoinCommand, BypassSeverCommand,
+                 BringUpCommand, ShutdownCommand, SetFecCommand, QueryStatsCommand,
+                 ProvisionCommand, DecommissionCommand>;
+
+/// Which links a command touches (used for busy-tracking).
+[[nodiscard]] std::vector<phy::LinkId> referenced_links(const PlpCommand& cmd);
+
+/// Human-readable command name for logs and telemetry.
+[[nodiscard]] std::string command_name(const PlpCommand& cmd);
+
+/// PLP #5 result payload: link-granularity statistics.
+struct LinkStatsReport {
+  phy::LinkId link = phy::kInvalidLink;
+  int lane_count = 0;
+  int bypass_joints = 0;
+  double raw_gbps = 0;
+  double effective_gbps = 0;
+  double worst_pre_fec_ber = 0;
+  double post_fec_ber = 0;
+  double power_watts = 0;
+  rsf::sim::SimTime propagation = rsf::sim::SimTime::zero();
+  std::uint64_t bits_carried = 0;
+  bool ready = false;
+};
+
+/// Completion record for an executed command.
+struct PlpResult {
+  bool ok = false;
+  std::string error;
+  /// Links that ceased to exist (their lanes moved to `created`).
+  std::vector<phy::LinkId> removed;
+  /// Links that now exist.
+  std::vector<phy::LinkId> created;
+  std::optional<LinkStatsReport> stats;
+  /// When the primitive finished actuating.
+  rsf::sim::SimTime completed_at = rsf::sim::SimTime::zero();
+};
+
+}  // namespace rsf::plp

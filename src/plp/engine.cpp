@@ -1,0 +1,419 @@
+#include "plp/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rsf::plp {
+
+using rsf::sim::SimTime;
+
+bool PlpCapabilities::supports(const PlpCommand& cmd) const {
+  struct Visitor {
+    const PlpCapabilities& caps;
+    bool operator()(const SplitCommand&) const { return caps.split_bundle; }
+    bool operator()(const BundleCommand&) const { return caps.split_bundle; }
+    bool operator()(const BypassJoinCommand&) const { return caps.bypass; }
+    bool operator()(const BypassSeverCommand&) const { return caps.bypass; }
+    bool operator()(const BringUpCommand&) const { return caps.on_off; }
+    bool operator()(const ShutdownCommand&) const { return caps.on_off; }
+    bool operator()(const SetFecCommand&) const { return caps.adaptive_fec; }
+    bool operator()(const QueryStatsCommand&) const { return caps.stats; }
+    bool operator()(const ProvisionCommand&) const {
+      return caps.on_off && caps.split_bundle;
+    }
+    bool operator()(const DecommissionCommand&) const {
+      return caps.on_off && caps.split_bundle;
+    }
+  };
+  return std::visit(Visitor{*this}, cmd);
+}
+
+PlpEngine::PlpEngine(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant,
+                     PlpTimings timings, PlpCapabilities caps)
+    : sim_(sim), plant_(plant), timings_(timings), caps_(caps), log_(sim, "plp") {
+  if (sim_ == nullptr || plant_ == nullptr) {
+    throw std::invalid_argument("PlpEngine: null simulator or plant");
+  }
+}
+
+void PlpEngine::submit(PlpCommand cmd, Callback callback) {
+  counters_.add("plp.submitted." + command_name(cmd));
+  if (!caps_.supports(cmd)) {
+    fail(Pending{std::move(cmd), std::move(callback)}, "primitive not supported by media");
+    return;
+  }
+  try_execute(Pending{std::move(cmd), std::move(callback)});
+}
+
+void PlpEngine::try_execute(Pending pending) {
+  // Stats queries are non-intrusive: run even against busy links.
+  const bool intrusive = !std::holds_alternative<QueryStatsCommand>(pending.cmd);
+  if (intrusive) {
+    for (phy::LinkId id : referenced_links(pending.cmd)) {
+      if (busy_.contains(id)) {
+        queue_.push_back(std::move(pending));
+        return;
+      }
+    }
+  }
+  execute_now(std::move(pending));
+}
+
+void PlpEngine::execute_now(Pending pending) {
+  // Validate link existence up front so primitives can assume it.
+  for (phy::LinkId id : referenced_links(pending.cmd)) {
+    if (!plant_->has_link(id)) {
+      fail(pending, "link " + std::to_string(id) + " does not exist");
+      return;
+    }
+  }
+  ++inflight_;
+  struct Visitor {
+    PlpEngine& e;
+    Pending& p;
+    void operator()(const SplitCommand&) { e.run_split(std::move(p)); }
+    void operator()(const BundleCommand&) { e.run_bundle(std::move(p)); }
+    void operator()(const BypassJoinCommand&) { e.run_bypass_join(std::move(p)); }
+    void operator()(const BypassSeverCommand&) { e.run_bypass_sever(std::move(p)); }
+    void operator()(const BringUpCommand&) { e.run_bring_up(std::move(p)); }
+    void operator()(const ShutdownCommand&) { e.run_shutdown(std::move(p)); }
+    void operator()(const SetFecCommand&) { e.run_set_fec(std::move(p)); }
+    void operator()(const QueryStatsCommand&) { e.run_query_stats(std::move(p)); }
+    void operator()(const ProvisionCommand&) { e.run_provision(std::move(p)); }
+    void operator()(const DecommissionCommand&) { e.run_decommission(std::move(p)); }
+  };
+  auto cmd = pending.cmd;  // copy: visitor consumes `pending`
+  std::visit(Visitor{*this, pending}, cmd);
+}
+
+void PlpEngine::finish(Pending pending, PlpResult result) {
+  result.completed_at = sim_->now();
+  counters_.add(result.ok ? "plp.completed." + command_name(pending.cmd)
+                          : "plp.failed." + command_name(pending.cmd));
+  --inflight_;
+  clear_busy(result.removed);
+  clear_busy(result.created);
+  if (pending.callback) pending.callback(result);
+  drain_queue();
+}
+
+void PlpEngine::fail(const Pending& pending, std::string error) {
+  log_.debug("command ", command_name(pending.cmd), " failed: ", error);
+  counters_.add("plp.failed." + command_name(pending.cmd));
+  if (pending.callback) {
+    PlpResult result;
+    result.ok = false;
+    result.error = std::move(error);
+    result.completed_at = sim_->now();
+    pending.callback(result);
+  }
+}
+
+void PlpEngine::drain_queue() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      bool blocked = false;
+      bool dead = false;
+      for (phy::LinkId id : referenced_links(it->cmd)) {
+        if (busy_.contains(id)) blocked = true;
+        if (!plant_->has_link(id) && !busy_.contains(id)) dead = true;
+      }
+      if (dead) {
+        Pending p = std::move(*it);
+        queue_.erase(it);
+        fail(p, "referenced link destroyed while queued");
+        progress = true;
+        break;
+      }
+      if (!blocked) {
+        Pending p = std::move(*it);
+        queue_.erase(it);
+        execute_now(std::move(p));
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+void PlpEngine::mark_busy(const std::vector<phy::LinkId>& links) {
+  for (phy::LinkId id : links) busy_.insert(id);
+}
+
+void PlpEngine::clear_busy(const std::vector<phy::LinkId>& links) {
+  for (phy::LinkId id : links) busy_.erase(id);
+}
+
+void PlpEngine::notify_topology(const std::vector<phy::LinkId>& removed,
+                                const std::vector<phy::LinkId>& created) {
+  for (const auto& obs : topo_observers_) obs(removed, created);
+}
+
+void PlpEngine::notify_readiness(phy::LinkId id, bool ready) {
+  for (const auto& obs : readiness_observers_) obs(id, ready);
+}
+
+// --- primitives ---
+
+void PlpEngine::run_split(Pending pending) {
+  const auto& cmd = std::get<SplitCommand>(pending.cmd);
+  std::pair<phy::LinkId, phy::LinkId> halves;
+  try {
+    halves = plant_->split_link(cmd.link, cmd.k);
+  } catch (const std::exception& ex) {
+    --inflight_;
+    fail(pending, ex.what());
+    return;
+  }
+  PlpResult result;
+  result.ok = true;
+  result.removed = {cmd.link};
+  result.created = {halves.first, halves.second};
+  // The datapath pauses for the reconfiguration window: both halves are
+  // busy (unusable) until actuation completes. Lane states carry over,
+  // so no retrain is needed.
+  mark_busy(result.created);
+  notify_topology(result.removed, result.created);
+  const SimTime duration = timings_.command_overhead + timings_.split;
+  sim_->schedule_after(duration, [this, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    for (phy::LinkId id : result.created) notify_readiness(id, plant_->link(id).ready());
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_bundle(Pending pending) {
+  const auto& cmd = std::get<BundleCommand>(pending.cmd);
+  phy::LinkId merged;
+  try {
+    merged = plant_->bundle_links(cmd.first, cmd.second);
+  } catch (const std::exception& ex) {
+    --inflight_;
+    fail(pending, ex.what());
+    return;
+  }
+  PlpResult result;
+  result.ok = true;
+  result.removed = {cmd.first, cmd.second};
+  result.created = {merged};
+  mark_busy(result.created);
+  notify_topology(result.removed, result.created);
+  const SimTime duration = timings_.command_overhead + timings_.bundle;
+  sim_->schedule_after(duration, [this, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    for (phy::LinkId id : result.created) notify_readiness(id, plant_->link(id).ready());
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_bypass_join(Pending pending) {
+  const auto& cmd = std::get<BypassJoinCommand>(pending.cmd);
+  phy::LinkId joined;
+  try {
+    joined = plant_->bypass_join(cmd.first, cmd.second);
+  } catch (const std::exception& ex) {
+    --inflight_;
+    fail(pending, ex.what());
+    return;
+  }
+  PlpResult result;
+  result.ok = true;
+  result.removed = {cmd.first, cmd.second};
+  result.created = {joined};
+  mark_busy(result.created);
+  // The joined path must retrain end-to-end through the new bypass
+  // element, so the link is down for setup + retrain.
+  plant_->lane_begin_training(joined);
+  notify_topology(result.removed, result.created);
+  notify_readiness(joined, false);
+  const SimTime duration =
+      timings_.command_overhead + timings_.bypass_setup + timings_.lane_retrain;
+  sim_->schedule_after(duration, [this, joined, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->lane_complete_training(joined);
+    notify_readiness(joined, true);
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_bypass_sever(Pending pending) {
+  const auto& cmd = std::get<BypassSeverCommand>(pending.cmd);
+  std::pair<phy::LinkId, phy::LinkId> halves;
+  try {
+    halves = plant_->bypass_sever(cmd.link, cmd.at);
+  } catch (const std::exception& ex) {
+    --inflight_;
+    fail(pending, ex.what());
+    return;
+  }
+  PlpResult result;
+  result.ok = true;
+  result.removed = {cmd.link};
+  result.created = {halves.first, halves.second};
+  mark_busy(result.created);
+  plant_->lane_begin_training(halves.first);
+  plant_->lane_begin_training(halves.second);
+  notify_topology(result.removed, result.created);
+  const SimTime duration =
+      timings_.command_overhead + timings_.bypass_teardown + timings_.lane_retrain;
+  sim_->schedule_after(duration, [this, halves, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->lane_complete_training(halves.first);
+    plant_->lane_complete_training(halves.second);
+    notify_readiness(halves.first, true);
+    notify_readiness(halves.second, true);
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_bring_up(Pending pending) {
+  const auto& cmd = std::get<BringUpCommand>(pending.cmd);
+  const phy::LinkId id = cmd.link;
+  mark_busy({id});
+  plant_->lane_begin_training(id);
+  PlpResult result;
+  result.ok = true;
+  result.created = {id};  // becomes usable
+  const SimTime duration =
+      timings_.command_overhead + timings_.lane_power_on + timings_.lane_retrain;
+  sim_->schedule_after(duration, [this, id, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->lane_complete_training(id);
+    notify_readiness(id, true);
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_shutdown(Pending pending) {
+  const auto& cmd = std::get<ShutdownCommand>(pending.cmd);
+  const phy::LinkId id = cmd.link;
+  mark_busy({id});
+  notify_readiness(id, false);
+  PlpResult result;
+  result.ok = true;
+  result.created = {id};  // still exists, just dark
+  const SimTime duration = timings_.command_overhead + timings_.lane_power_off;
+  sim_->schedule_after(duration, [this, id, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->lane_power_off(id);
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_set_fec(Pending pending) {
+  const auto& cmd = std::get<SetFecCommand>(pending.cmd);
+  const phy::LinkId id = cmd.link;
+  mark_busy({id});
+  notify_readiness(id, false);
+  PlpResult result;
+  result.ok = true;
+  result.created = {id};
+  const SimTime duration = timings_.command_overhead + timings_.fec_switch;
+  sim_->schedule_after(duration, [this, id, scheme = cmd.scheme,
+                                  pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->set_fec(id, phy::FecSpec::of(scheme));
+    notify_readiness(id, plant_->link(id).ready());
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_query_stats(Pending pending) {
+  const auto& cmd = std::get<QueryStatsCommand>(pending.cmd);
+  PlpResult result;
+  result.ok = true;
+  result.stats = stats_report(cmd.link);
+  const SimTime duration = timings_.command_overhead + timings_.stats_query;
+  sim_->schedule_after(duration, [this, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_provision(Pending pending) {
+  const auto& cmd = std::get<ProvisionCommand>(pending.cmd);
+  phy::LinkId id;
+  try {
+    // Reject lanes that are hard-failed — provisioning them would
+    // produce a link that can never come up.
+    const phy::Cable& c = plant_->cable(cmd.cable);
+    for (int lane : cmd.lanes) {
+      if (lane < 0 || lane >= c.lane_count()) {
+        throw std::invalid_argument("provision: lane out of range");
+      }
+      if (c.lane(lane).is_failed()) {
+        throw std::invalid_argument("provision: lane " + std::to_string(lane) +
+                                    " is failed");
+      }
+    }
+    id = plant_->create_adjacent_link(cmd.cable, cmd.lanes, phy::FecSpec::of(cmd.fec));
+  } catch (const std::exception& ex) {
+    --inflight_;
+    fail(pending, ex.what());
+    return;
+  }
+  PlpResult result;
+  result.ok = true;
+  result.created = {id};
+  mark_busy(result.created);
+  plant_->lane_begin_training(id);
+  notify_topology({}, result.created);
+  const SimTime duration =
+      timings_.command_overhead + timings_.lane_power_on + timings_.lane_retrain;
+  sim_->schedule_after(duration, [this, id, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->lane_complete_training(id);
+    notify_readiness(id, plant_->link(id).ready());
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+void PlpEngine::run_decommission(Pending pending) {
+  const auto& cmd = std::get<DecommissionCommand>(pending.cmd);
+  const phy::LinkId id = cmd.link;
+  mark_busy({id});
+  notify_readiness(id, false);
+  PlpResult result;
+  result.ok = true;
+  result.removed = {id};
+  const SimTime duration = timings_.command_overhead + timings_.lane_power_off;
+  sim_->schedule_after(duration, [this, id, pending = std::move(pending),
+                                  result = std::move(result)]() mutable {
+    plant_->lane_power_off(id);
+    plant_->destroy_link(id);
+    notify_topology(result.removed, {});
+    finish(std::move(pending), std::move(result));
+  });
+}
+
+LinkStatsReport PlpEngine::stats_report(phy::LinkId id) const {
+  const phy::LogicalLink& l = plant_->link(id);
+  LinkStatsReport report;
+  report.link = id;
+  report.lane_count = l.lane_count();
+  report.bypass_joints = l.bypass_joints();
+  report.raw_gbps = l.raw_rate().gbps_value();
+  report.effective_gbps = l.effective_rate().gbps_value();
+  report.worst_pre_fec_ber = l.worst_pre_fec_ber();
+  report.post_fec_ber = l.post_fec_ber();
+  report.power_watts = l.power_watts();
+  report.propagation = l.propagation_delay();
+  report.ready = l.ready() && !busy_.contains(id);
+  std::uint64_t bits = 0;
+  for (const phy::LinkSegment& seg : l.segments()) {
+    const phy::Cable& c = plant_->cable(seg.cable);
+    for (int lane : seg.lanes) bits += c.lane(lane).stats().bits_carried;
+  }
+  report.bits_carried = bits;
+  return report;
+}
+
+void PlpEngine::instant_bring_up(phy::LinkId link) {
+  plant_->lane_begin_training(link);
+  plant_->lane_complete_training(link);
+  notify_readiness(link, true);
+}
+
+}  // namespace rsf::plp

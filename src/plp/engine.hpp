@@ -1,0 +1,143 @@
+// rsf::plp — the PLP execution engine.
+//
+// PlpEngine is the actuator between the control plane and the physical
+// plant. It executes PlpCommands asynchronously on the simulator:
+// each primitive has an actuation latency (from the PlpTimings table),
+// links under reconfiguration are marked busy (their lanes retrain, so
+// the fabric sees them not-ready), and completion fires a callback and
+// notifies registered observers of topology-visible changes.
+//
+// Commands referencing busy links queue FIFO; commands referencing
+// links destroyed while queued fail cleanly. One engine serves the
+// whole rack — it models the rack's management plane, not a CPU.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "phy/plant.hpp"
+#include "plp/command.hpp"
+#include "sim/log.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/counters.hpp"
+
+namespace rsf::plp {
+
+/// Actuation latency of each primitive. Defaults are calibrated to
+/// published reconfigurable-fabric figures: electrical circuit setup
+/// in the low microseconds (Shoal), lane retrain tens of microseconds
+/// for PAM4 refresh-style retraining, sub-µs management overhead.
+struct PlpTimings {
+  rsf::sim::SimTime command_overhead = rsf::sim::SimTime::nanoseconds(500);
+  rsf::sim::SimTime split = rsf::sim::SimTime::microseconds(1);
+  rsf::sim::SimTime bundle = rsf::sim::SimTime::microseconds(1);
+  rsf::sim::SimTime bypass_setup = rsf::sim::SimTime::microseconds(5);
+  rsf::sim::SimTime bypass_teardown = rsf::sim::SimTime::microseconds(5);
+  rsf::sim::SimTime lane_power_on = rsf::sim::SimTime::microseconds(10);
+  rsf::sim::SimTime lane_retrain = rsf::sim::SimTime::microseconds(50);
+  rsf::sim::SimTime lane_power_off = rsf::sim::SimTime::microseconds(1);
+  rsf::sim::SimTime fec_switch = rsf::sim::SimTime::microseconds(2);
+  rsf::sim::SimTime stats_query = rsf::sim::SimTime::nanoseconds(200);
+};
+
+/// Which primitives the underlying media supports (paper §2: a medium
+/// provides "some subset of the Physical Layer Primitives").
+struct PlpCapabilities {
+  bool split_bundle = true;
+  bool bypass = true;
+  bool on_off = true;
+  bool adaptive_fec = true;
+  bool stats = true;
+
+  [[nodiscard]] static PlpCapabilities all() { return {}; }
+  [[nodiscard]] bool supports(const PlpCommand& cmd) const;
+};
+
+class PlpEngine {
+ public:
+  using Callback = std::function<void(const PlpResult&)>;
+  /// Observer of structural changes: (removed link ids, created link ids).
+  using TopologyObserver =
+      std::function<void(const std::vector<phy::LinkId>&, const std::vector<phy::LinkId>&)>;
+  /// Observer of link availability: (link id, now_ready).
+  using ReadinessObserver = std::function<void(phy::LinkId, bool)>;
+
+  PlpEngine(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, PlpTimings timings = {},
+            PlpCapabilities caps = PlpCapabilities::all());
+
+  PlpEngine(const PlpEngine&) = delete;
+  PlpEngine& operator=(const PlpEngine&) = delete;
+
+  /// Submit a command. Executes immediately if its links are idle,
+  /// otherwise queues. The callback (optional) fires on completion or
+  /// failure, at simulated completion time.
+  void submit(PlpCommand cmd, Callback callback = nullptr);
+
+  /// Synchronous convenience used at rack bring-up (before the clock
+  /// starts): power + train a link with no simulated delay.
+  void instant_bring_up(phy::LinkId link);
+
+  void add_topology_observer(TopologyObserver obs) {
+    topo_observers_.push_back(std::move(obs));
+  }
+  void add_readiness_observer(ReadinessObserver obs) {
+    readiness_observers_.push_back(std::move(obs));
+  }
+
+  [[nodiscard]] bool link_busy(phy::LinkId id) const { return busy_.contains(id); }
+  [[nodiscard]] std::size_t queued_commands() const { return queue_.size(); }
+  [[nodiscard]] std::size_t inflight_commands() const { return inflight_; }
+  [[nodiscard]] const PlpTimings& timings() const { return timings_; }
+  [[nodiscard]] const PlpCapabilities& capabilities() const { return caps_; }
+  [[nodiscard]] const telemetry::CounterSet& counters() const { return counters_; }
+
+  /// Build a PLP #5 stats report for a link (also available without
+  /// going through a command, for zero-cost in-process consumers).
+  [[nodiscard]] LinkStatsReport stats_report(phy::LinkId id) const;
+
+ private:
+  struct Pending {
+    PlpCommand cmd;
+    Callback callback;
+  };
+
+  void try_execute(Pending pending);
+  void execute_now(Pending pending);
+  void finish(Pending pending, PlpResult result);
+  void fail(const Pending& pending, std::string error);
+  void drain_queue();
+  void mark_busy(const std::vector<phy::LinkId>& links);
+  void clear_busy(const std::vector<phy::LinkId>& links);
+  void notify_topology(const std::vector<phy::LinkId>& removed,
+                       const std::vector<phy::LinkId>& created);
+  void notify_readiness(phy::LinkId id, bool ready);
+
+  // Per-primitive implementations. Each returns the simulated duration
+  // and schedules the plant mutation appropriately.
+  void run_split(Pending pending);
+  void run_bundle(Pending pending);
+  void run_bypass_join(Pending pending);
+  void run_bypass_sever(Pending pending);
+  void run_bring_up(Pending pending);
+  void run_shutdown(Pending pending);
+  void run_set_fec(Pending pending);
+  void run_query_stats(Pending pending);
+  void run_provision(Pending pending);
+  void run_decommission(Pending pending);
+
+  rsf::sim::Simulator* sim_;
+  phy::PhysicalPlant* plant_;
+  PlpTimings timings_;
+  PlpCapabilities caps_;
+  std::set<phy::LinkId> busy_;
+  std::deque<Pending> queue_;
+  std::size_t inflight_ = 0;
+  std::vector<TopologyObserver> topo_observers_;
+  std::vector<ReadinessObserver> readiness_observers_;
+  telemetry::CounterSet counters_;
+  rsf::sim::Logger log_;
+};
+
+}  // namespace rsf::plp

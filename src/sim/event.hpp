@@ -1,0 +1,37 @@
+// rsf::sim — events and event handles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace rsf::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are unique
+/// for the lifetime of a Simulator and never reused.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// The action an event performs when it fires. Handlers run at the
+/// event's timestamp; they may schedule further events but must not
+/// block. Handlers are plain callbacks — the kernel is single-threaded
+/// and deterministic by construction.
+using EventHandler = std::function<void()>;
+
+/// A scheduled event, ordered by (time, sequence). The sequence number
+/// makes the ordering a strict total order, so two events scheduled for
+/// the same instant always fire in scheduling order: determinism does
+/// not depend on heap tie-breaking.
+struct Event {
+  SimTime time;
+  EventId id = kInvalidEventId;
+  EventHandler handler;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace rsf::sim

@@ -1,0 +1,84 @@
+// rsf::sim — lightweight leveled logging bound to simulation time.
+//
+// Components log through a Logger that prefixes simulation time and a
+// component tag. The sink is process-global but injectable, so tests
+// can capture output and benches can silence it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rsf::sim {
+
+class Simulator;
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Global log configuration. Defaults: level kWarn, sink = stderr.
+class LogConfig {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view line)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void set_sink(Sink sink);
+  /// Restore the default stderr sink.
+  static void reset_sink();
+  static void emit(LogLevel level, std::string_view line);
+};
+
+/// Per-component logger. Cheap to copy; holds only a tag and a pointer
+/// to the simulator whose clock timestamps the lines.
+class Logger {
+ public:
+  Logger(const Simulator* sim, std::string tag) : sim_(sim), tag_(std::move(tag)) {}
+  explicit Logger(std::string tag) : Logger(nullptr, std::move(tag)) {}
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= LogConfig::level(); }
+
+  template <typename... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream oss;
+    format_prefix(oss, level);
+    (oss << ... << args);
+    LogConfig::emit(level, oss.str());
+  }
+
+  template <typename... Args>
+  void trace(const Args&... args) const {
+    log(LogLevel::kTrace, args...);
+  }
+  template <typename... Args>
+  void debug(const Args&... args) const {
+    log(LogLevel::kDebug, args...);
+  }
+  template <typename... Args>
+  void info(const Args&... args) const {
+    log(LogLevel::kInfo, args...);
+  }
+  template <typename... Args>
+  void warn(const Args&... args) const {
+    log(LogLevel::kWarn, args...);
+  }
+  template <typename... Args>
+  void error(const Args&... args) const {
+    log(LogLevel::kError, args...);
+  }
+
+  [[nodiscard]] const std::string& tag() const { return tag_; }
+
+ private:
+  void format_prefix(std::ostream& os, LogLevel level) const;
+
+  const Simulator* sim_;
+  std::string tag_;
+};
+
+}  // namespace rsf::sim

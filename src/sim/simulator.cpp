@@ -1,0 +1,105 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rsf::sim {
+
+EventId Simulator::schedule_impl(SimTime when, EventHandler handler, bool weak) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: time " + when.to_string() +
+                           " precedes now " + now_.to_string());
+  }
+  if (!handler) {
+    throw std::invalid_argument("Simulator::schedule_at: empty handler");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(handler)});
+  (weak ? weak_ids_ : strong_ids_).insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_at(SimTime when, EventHandler handler) {
+  return schedule_impl(when, std::move(handler), /*weak=*/false);
+}
+
+EventId Simulator::schedule_weak_at(SimTime when, EventHandler handler) {
+  return schedule_impl(when, std::move(handler), /*weak=*/true);
+}
+
+bool Simulator::cancel(EventId id) {
+  // An id absent from both sets has either fired, been cancelled
+  // already, or never existed — all report false.
+  return strong_ids_.erase(id) > 0 || weak_ids_.erase(id) > 0;
+}
+
+bool Simulator::pop_next(Event& out, bool* was_weak) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the handler must be copied
+    // out before pop. Handlers are small (std::function) so this is
+    // acceptable on the event path.
+    Event ev = queue_.top();
+    queue_.pop();
+    bool weak = false;
+    if (strong_ids_.erase(ev.id) == 0) {
+      if (weak_ids_.erase(ev.id) == 0) continue;  // cancelled tombstone
+      weak = true;
+    }
+    if (was_weak != nullptr) *was_weak = weak;
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  const bool unbounded = until == SimTime::infinity();
+  std::size_t count = 0;
+  Event ev;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // With no horizon, only weak events left means we are done — they
+    // exist to serve foreground work, not to be it.
+    if (unbounded && strong_ids_.empty()) break;
+    bool was_weak = false;
+    if (!pop_next(ev, &was_weak)) break;
+    if (ev.time > until) {
+      // The heap top was a tombstone hiding a live event beyond the
+      // horizon; restore it untouched.
+      (was_weak ? weak_ids_ : strong_ids_).insert(ev.id);
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ++count;
+    ev.handler();
+  }
+  if (idle() && !unbounded && now_ < until) {
+    now_ = until;
+  }
+  return count;
+}
+
+std::size_t Simulator::run_events(std::size_t max_events) {
+  std::size_t count = 0;
+  Event ev;
+  while (count < max_events && pop_next(ev)) {
+    now_ = ev.time;
+    ++executed_;
+    ++count;
+    ev.handler();
+  }
+  return count;
+}
+
+void Simulator::fast_forward_to(SimTime when) {
+  if (!strong_ids_.empty() || !weak_ids_.empty()) {
+    throw std::logic_error("Simulator::fast_forward_to: events pending");
+  }
+  if (when < now_) {
+    throw std::logic_error("Simulator::fast_forward_to: cannot rewind");
+  }
+  now_ = when;
+}
+
+}  // namespace rsf::sim

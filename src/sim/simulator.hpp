@@ -1,0 +1,97 @@
+// rsf::sim — the discrete-event simulation kernel.
+//
+// A Simulator owns a future-event set (binary heap) and the simulation
+// clock. Components schedule closures at absolute or relative times;
+// run() drains events in (time, insertion) order. The kernel is
+// single-threaded: determinism is a design requirement because every
+// experiment in the benchmark suite must be re-runnable bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time. Starts at zero.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `handler` to run at absolute time `when`.
+  /// `when` must not precede now(); scheduling in the past is a logic
+  /// error and throws.
+  EventId schedule_at(SimTime when, EventHandler handler);
+
+  /// Schedule `handler` to run `delay` after the current time.
+  EventId schedule_after(SimTime delay, EventHandler handler) {
+    return schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Weak events do not keep the simulation alive: run_until() with no
+  /// horizon stops once only weak events remain. Periodic background
+  /// activities (controller epochs, BER drivers, watchdogs) schedule
+  /// weak so "run until the workload drains" terminates naturally.
+  EventId schedule_weak_at(SimTime when, EventHandler handler);
+  EventId schedule_weak_after(SimTime delay, EventHandler handler) {
+    return schedule_weak_at(now_ + delay, std::move(handler));
+  }
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// pending (it will no longer fire); false if it already fired, was
+  /// already cancelled, or never existed. Cancellation is O(1): the
+  /// event is tombstoned and skipped when popped.
+  bool cancel(EventId id);
+
+  /// Run until the event set is empty or `until` is reached (events at
+  /// exactly `until` DO fire). Returns the number of events processed.
+  std::size_t run_until(SimTime until = SimTime::infinity());
+
+  /// Run at most `max_events` events. Useful to bound runaway loops in
+  /// tests. Returns the number processed.
+  std::size_t run_events(std::size_t max_events);
+
+  /// True if no live *strong* events remain (weak events do not count).
+  [[nodiscard]] bool idle() const { return strong_ids_.empty(); }
+
+  /// Number of live pending strong events.
+  [[nodiscard]] std::size_t pending() const { return strong_ids_.size(); }
+  /// Number of live pending weak events.
+  [[nodiscard]] std::size_t pending_weak() const { return weak_ids_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Advance the clock with no event processing. Only valid while idle;
+  /// used by tests to set up mid-run scenarios.
+  void fast_forward_to(SimTime when);
+
+ private:
+  struct Compare {
+    bool operator()(const Event& a, const Event& b) const { return a > b; }
+  };
+
+  bool pop_next(Event& out, bool* was_weak = nullptr);
+  EventId schedule_impl(SimTime when, EventHandler handler, bool weak);
+
+  SimTime now_ = SimTime::zero();
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Compare> queue_;
+  // Ids of live (scheduled, not yet fired, not cancelled) events,
+  // partitioned by strength. An id present in the heap but in neither
+  // set has been cancelled and is skipped on pop.
+  std::unordered_set<EventId> strong_ids_;
+  std::unordered_set<EventId> weak_ids_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rsf::sim

@@ -1,0 +1,34 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace rsf::sim {
+
+std::string SimTime::to_string() const {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 5> kUnits = {{
+      {1e12, "s"},
+      {1e9, "ms"},
+      {1e6, "us"},
+      {1e3, "ns"},
+      {1e0, "ps"},
+  }};
+  const double v = static_cast<double>(ps_);
+  for (const Unit& u : kUnits) {
+    if (std::abs(v) >= u.scale || u.scale == 1e0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3f%s", v / u.scale, u.suffix);
+      return buf;
+    }
+  }
+  return "0ps";
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.to_string(); }
+
+}  // namespace rsf::sim

@@ -1,0 +1,109 @@
+// rsf::sim — simulation time.
+//
+// All simulation time is kept as a signed 64-bit count of picoseconds.
+// Picosecond resolution lets us represent sub-nanosecond artefacts
+// (serialization of a single byte at 100 Gb/s is 80 ps) while still
+// covering ~106 days of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace rsf::sim {
+
+/// A point in simulated time, or a duration, counted in picoseconds.
+///
+/// SimTime is deliberately a strong type (not a bare integer) so that
+/// times cannot be silently mixed with byte counts, lane counts, etc.
+/// Arithmetic is closed over the type: the difference of two points is
+/// a duration and both share the representation.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors. Prefer these over the raw-picosecond factory.
+  [[nodiscard]] static constexpr SimTime picoseconds(std::int64_t ps) { return SimTime(ps); }
+  [[nodiscard]] static constexpr SimTime nanoseconds(double ns) {
+    return SimTime(static_cast<std::int64_t>(ns * 1e3));
+  }
+  [[nodiscard]] static constexpr SimTime microseconds(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e6));
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e9));
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e12));
+  }
+
+  /// Zero duration / simulation epoch.
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+  /// A time later than every representable event; useful as a sentinel.
+  [[nodiscard]] static constexpr SimTime infinity() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ps_ += rhs.ps_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ps_ -= rhs.ps_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.ps_ + b.ps_); }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.ps_ - b.ps_); }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime(a.ps_ * k); }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime(k * a.ps_); }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(a.ps_) * k));
+  }
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.ps_ / b.ps_; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) { return SimTime(a.ps_ / k); }
+
+  /// Ratio of two durations as a double (e.g. utilisation computations).
+  [[nodiscard]] constexpr double ratio(SimTime denom) const {
+    return static_cast<double>(ps_) / static_cast<double>(denom.ps_);
+  }
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "12.50us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+namespace literals {
+constexpr SimTime operator""_ps(unsigned long long v) {
+  return SimTime::picoseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::picoseconds(static_cast<std::int64_t>(v) * 1000);
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::picoseconds(static_cast<std::int64_t>(v) * 1000 * 1000);
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::picoseconds(static_cast<std::int64_t>(v) * 1000 * 1000 * 1000);
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::picoseconds(static_cast<std::int64_t>(v) * 1000 * 1000 * 1000 * 1000);
+}
+}  // namespace literals
+
+}  // namespace rsf::sim

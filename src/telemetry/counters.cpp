@@ -1,0 +1,75 @@
+#include "telemetry/counters.hpp"
+
+#include <sstream>
+
+namespace rsf::telemetry {
+
+void CounterSet::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void CounterSet::set_gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::uint64_t CounterSet::get(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double CounterSet::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool CounterSet::has(std::string_view name) const {
+  return counters_.find(name) != counters_.end() || gauges_.find(name) != gauges_.end();
+}
+
+CounterSet CounterSet::diff(const CounterSet& earlier) const {
+  CounterSet out;
+  for (const auto& [name, value] : counters_) {
+    const std::uint64_t before = earlier.get(name);
+    out.counters_.emplace(name, value >= before ? value - before : 0);
+  }
+  out.gauges_ = gauges_;
+  return out;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, value] : other.gauges_) set_gauge(name, value);
+}
+
+void CounterSet::reset() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+std::string CounterSet::to_string() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) oss << ' ';
+    oss << name << '=' << value;
+    first = false;
+  }
+  for (const auto& [name, value] : gauges_) {
+    if (!first) oss << ' ';
+    oss << name << '=' << value;
+    first = false;
+  }
+  return oss.str();
+}
+
+}  // namespace rsf::telemetry

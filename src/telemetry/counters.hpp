@@ -1,0 +1,48 @@
+// rsf::telemetry — named counters and gauges.
+//
+// A CounterSet is a flat registry of named monotonic counters and
+// last-value gauges. Components own their sets; benches snapshot and
+// diff them between measurement windows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace rsf::telemetry {
+
+class CounterSet {
+ public:
+  /// Add `delta` to counter `name`, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Set gauge `name` to `value`.
+  void set_gauge(std::string_view name, double value);
+
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Counters in `this` minus counters in `earlier` (missing = 0).
+  [[nodiscard]] CounterSet diff(const CounterSet& earlier) const;
+
+  void merge(const CounterSet& other);
+  void reset();
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+
+  /// "a=1 b=2 ..." rendering for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+}  // namespace rsf::telemetry

@@ -1,0 +1,118 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace rsf::telemetry {
+
+std::size_t Histogram::bucket_index(double v) {
+  // v >= 1 guaranteed by caller (zero_or_negative_ handles the rest;
+  // values in (0,1) clamp to bucket 0).
+  if (v < 1.0) return 0;
+  const int exponent = std::min(62, static_cast<int>(std::floor(std::log2(v))));
+  const double base = std::exp2(exponent);
+  int sub = static_cast<int>((v - base) / base * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return static_cast<std::size_t>(exponent) * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_upper_edge(std::size_t idx) {
+  const std::size_t exponent = idx / kSubBuckets;
+  const std::size_t sub = idx % kSubBuckets;
+  const double base = std::exp2(static_cast<double>(exponent));
+  return base + base * static_cast<double>(sub + 1) / kSubBuckets;
+}
+
+void Histogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (value < 1.0) {
+    ++zero_or_negative_;
+    return;
+  }
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var <= 0 ? 0.0 : std::sqrt(var);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = zero_or_negative_;
+  if (seen >= target && target > 0) return std::min(max_, 1.0);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(max_, bucket_upper_edge(i));
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  zero_or_negative_ += other.zero_or_negative_;
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::reset() { *this = Histogram(); }
+
+namespace {
+std::string fmt_time_ps(double ps) {
+  return rsf::sim::SimTime::picoseconds(static_cast<std::int64_t>(ps)).to_string();
+}
+}  // namespace
+
+std::string Histogram::summary_time() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p99=%s p999=%s max=%s",
+                static_cast<unsigned long long>(count_), fmt_time_ps(mean()).c_str(),
+                fmt_time_ps(p50()).c_str(), fmt_time_ps(p99()).c_str(),
+                fmt_time_ps(p999()).c_str(), fmt_time_ps(max()).c_str());
+  return buf;
+}
+
+std::string Histogram::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.3f p50=%.3f p99=%.3f p999=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(), p50(), p99(), p999(), max());
+  return buf;
+}
+
+}  // namespace rsf::telemetry

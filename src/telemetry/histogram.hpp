@@ -1,0 +1,65 @@
+// rsf::telemetry — streaming latency histogram.
+//
+// Log-linear bucketing (HDR-histogram style): values are bucketed into
+// powers of two, each power split into kSubBuckets linear sub-buckets,
+// giving a bounded relative error (< 1/kSubBuckets) at every scale from
+// picoseconds to seconds with a few KB of memory and O(1) insert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rsf::telemetry {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(double value);
+  void record(rsf::sim::SimTime t) { record(static_cast<double>(t.ps())); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Value at quantile q in [0,1]; q=0.5 is the median. Returns the
+  /// representative (upper edge) of the containing bucket, so the
+  /// result is an upper bound within the bucket's relative error.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
+
+  void merge(const Histogram& other);
+  void reset();
+
+  /// One-line summary, e.g. "n=1000 mean=4.2us p50=... p99=...",
+  /// interpreting stored values as picoseconds.
+  [[nodiscard]] std::string summary_time() const;
+  /// Same but with raw unitless values.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets => <1.6% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  [[nodiscard]] static std::size_t bucket_index(double v);
+  [[nodiscard]] static double bucket_upper_edge(std::size_t idx);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::uint64_t zero_or_negative_ = 0;
+};
+
+}  // namespace rsf::telemetry

@@ -1,0 +1,53 @@
+// rsf::telemetry — time series recorder.
+//
+// Records (time, value) samples for quantities that evolve during a
+// run (power draw, per-link utilisation, CRC decisions) so benches can
+// print reaction timelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rsf::telemetry {
+
+struct Sample {
+  rsf::sim::SimTime time;
+  double value = 0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(rsf::sim::SimTime t, double value) { samples_.push_back({t, value}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Last value at or before `t`; `fallback` if none.
+  [[nodiscard]] double value_at(rsf::sim::SimTime t, double fallback = 0.0) const;
+
+  /// Time-weighted mean over [from, to] treating the series as a step
+  /// function (last-value-holds). Returns `fallback` with no samples.
+  [[nodiscard]] double time_weighted_mean(rsf::sim::SimTime from, rsf::sim::SimTime to,
+                                          double fallback = 0.0) const;
+
+  /// Earliest time >= `from` at which the value satisfies
+  /// |value - target| <= tol, or SimTime::infinity() if never. Used to
+  /// measure the CRC's reaction/settling time.
+  [[nodiscard]] rsf::sim::SimTime first_reach(double target, double tol,
+                                              rsf::sim::SimTime from =
+                                                  rsf::sim::SimTime::zero()) const;
+
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace rsf::telemetry

@@ -1,0 +1,97 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsf::workload {
+
+using rsf::sim::SimTime;
+
+phy::DataSize SizeDistribution::sample(rsf::sim::RandomStream& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed;
+    case Kind::kBoundedPareto: {
+      const double bytes = rng.bounded_pareto(pareto_alpha, pareto_min_bytes, pareto_max_bytes);
+      return phy::DataSize::bytes(static_cast<std::int64_t>(bytes));
+    }
+  }
+  return fixed;
+}
+
+FlowGenerator::FlowGenerator(rsf::sim::Simulator* sim, fabric::Network* net,
+                             TrafficMatrix matrix, GeneratorConfig config)
+    : sim_(sim),
+      net_(net),
+      matrix_(std::move(matrix)),
+      config_(config),
+      rng_(config.seed, "flowgen"),
+      next_flow_id_(config.first_flow_id) {
+  if (sim_ == nullptr || net_ == nullptr) {
+    throw std::invalid_argument("FlowGenerator: null dependency");
+  }
+  if (config_.mean_interarrival <= SimTime::zero()) {
+    throw std::invalid_argument("FlowGenerator: non-positive interarrival");
+  }
+}
+
+void FlowGenerator::start(SimTime start) {
+  for (std::uint32_t src = 0; src < matrix_.nodes(); ++src) {
+    if (matrix_.row_sum(src) <= 0) continue;
+    const SimTime first =
+        start + SimTime::picoseconds(static_cast<std::int64_t>(
+                    rng_.exponential(static_cast<double>(config_.mean_interarrival.ps()))));
+    if (first > config_.horizon) continue;
+    sim_->schedule_at(first, [this, src] { fire(src); });
+  }
+}
+
+void FlowGenerator::arm_next(phy::NodeId src) {
+  const SimTime gap = SimTime::picoseconds(static_cast<std::int64_t>(
+      rng_.exponential(static_cast<double>(config_.mean_interarrival.ps()))));
+  const SimTime when = sim_->now() + gap;
+  if (when > config_.horizon) return;
+  sim_->schedule_at(when, [this, src] { fire(src); });
+}
+
+void FlowGenerator::fire(phy::NodeId src) {
+  const phy::NodeId dst = matrix_.sample_dst(src, rng_);
+  if (dst != src) {
+    fabric::FlowSpec spec;
+    spec.id = next_flow_id_++;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size = config_.sizes.sample(rng_);
+    spec.packet_size = config_.packet_size;
+    spec.start = sim_->now();
+    ++generated_;
+    net_->start_flow(spec,
+                     [this](const fabric::FlowResult& r) { results_.push_back(r); });
+  }
+  arm_next(src);
+}
+
+telemetry::Histogram FlowGenerator::completion_histogram() const {
+  telemetry::Histogram h;
+  for (const auto& r : results_) {
+    if (!r.failed) h.record(r.completion_time());
+  }
+  return h;
+}
+
+double FlowGenerator::goodput_gbps() const {
+  if (results_.empty()) return 0.0;
+  SimTime first = SimTime::infinity();
+  SimTime last = SimTime::zero();
+  double bits = 0;
+  for (const auto& r : results_) {
+    if (r.failed) continue;
+    first = std::min(first, r.started);
+    last = std::max(last, r.finished);
+    bits += static_cast<double>(r.spec.size.bit_count());
+  }
+  if (last <= first) return 0.0;
+  return bits / (last - first).sec() / 1e9;
+}
+
+}  // namespace rsf::workload

@@ -1,0 +1,70 @@
+// rsf::workload — MapReduce shuffle jobs.
+//
+// The paper's motivating example (§2): a reducer must wait for data
+// from *all* mappers, so the slowest path gates the whole job. A
+// ShuffleJob runs the all-to-all transfer and reports both the job
+// completion time (max over flows) and the straggler gap (max/median),
+// quantifying the slowest-link effect the adaptive fabric attacks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fabric/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rsf::workload {
+
+struct ShuffleConfig {
+  std::vector<phy::NodeId> mappers;
+  std::vector<phy::NodeId> reducers;
+  /// Bytes each mapper sends to each reducer.
+  phy::DataSize bytes_per_pair = phy::DataSize::megabytes(1);
+  phy::DataSize packet_size = phy::DataSize::bytes(1024);
+  rsf::sim::SimTime start = rsf::sim::SimTime::zero();
+  fabric::FlowId first_flow_id = 1'000'000;  // keep clear of other generators
+};
+
+struct ShuffleResult {
+  rsf::sim::SimTime job_completion = rsf::sim::SimTime::zero();
+  rsf::sim::SimTime median_flow = rsf::sim::SimTime::zero();
+  rsf::sim::SimTime max_flow = rsf::sim::SimTime::zero();
+  std::uint64_t flows = 0;
+  std::uint64_t failed = 0;
+
+  /// Straggler gap: how much the slowest transfer lags the median.
+  [[nodiscard]] double straggler_ratio() const {
+    return median_flow.ps() > 0
+               ? static_cast<double>(max_flow.ps()) / static_cast<double>(median_flow.ps())
+               : 0.0;
+  }
+};
+
+class ShuffleJob {
+ public:
+  using DoneCallback = std::function<void(const ShuffleResult&)>;
+
+  ShuffleJob(rsf::sim::Simulator* sim, fabric::Network* net, ShuffleConfig config);
+
+  /// Launch all mapper->reducer flows at config.start. The callback
+  /// fires when the last flow lands (the reducer barrier clears).
+  void run(DoneCallback on_done);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const ShuffleResult& result() const { return result_; }
+
+ private:
+  void on_flow_done(const fabric::FlowResult& r);
+
+  rsf::sim::Simulator* sim_;
+  fabric::Network* net_;
+  ShuffleConfig config_;
+  DoneCallback on_done_;
+  std::vector<rsf::sim::SimTime> completion_times_;
+  std::uint64_t outstanding_ = 0;
+  bool finished_ = false;
+  ShuffleResult result_;
+};
+
+}  // namespace rsf::workload

@@ -1,0 +1,210 @@
+// Edge-case and robustness tests of the transport and routing layers:
+// TTL backstops, reservations, store-and-forward arithmetic, and the
+// estimated-BER control path end to end.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/controller.hpp"
+#include "fabric/builders.hpp"
+#include "phy/ber_profile.hpp"
+#include "workload/generator.hpp"
+
+namespace rsf {
+namespace {
+
+using fabric::Rack;
+using fabric::RackParams;
+using phy::DataSize;
+using phy::LinkId;
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+using namespace rsf::sim::literals;
+
+TEST(FabricEdge, FailedLaneImmediatelyVisibleToRouting) {
+  Simulator sim;
+  RackParams p;
+  p.width = 3;
+  p.height = 1;
+  Rack rack = fabric::build_grid(&sim, p);
+  const std::uint64_t v0 = rack.topology->version();
+  const LinkId l01 = *rack.topology->link_between(0, 1);
+  rack.plant->fail_lane(phy::LaneRef{rack.plant->link(l01).segments().front().cable, 0});
+  // The plant change observer bumps the version; routing re-runs
+  // Dijkstra and the dead link is excluded.
+  EXPECT_GT(rack.topology->version(), v0);
+  EXPECT_FALSE(rack.topology->usable(l01));
+  EXPECT_FALSE(rack.router->next_hop(0, 2).has_value());  // chain is cut
+}
+
+TEST(FabricEdge, TtlBackstopTriggersRetransmitNotOrbit) {
+  Simulator sim;
+  RackParams p;
+  p.width = 4;
+  p.height = 4;
+  p.net_config.max_hops = 4;  // tighter than the 6-hop diameter
+  Rack rack = fabric::build_grid(&sim, p);
+  std::optional<bool> delivered;
+  rack.network->send_probe(rack.node_at(0, 0), rack.node_at(3, 3), DataSize::bytes(256),
+                           [&](SimTime, int, bool ok) { delivered = ok; });
+  sim.run_until();
+  // The probe keeps being returned to the source until retries
+  // exhaust: it is dropped, never delivered, and the simulation
+  // terminates (no infinite orbit).
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_FALSE(*delivered);
+  EXPECT_GT(rack.network->counters().get("net.drops.retries_exhausted") +
+                rack.network->counters().get("net.drops.no_route"),
+            0u);
+}
+
+TEST(FabricEdge, MaxHopsDefaultAdmitsDiameterPaths) {
+  Simulator sim;
+  RackParams p;
+  p.width = 8;
+  p.height = 8;
+  Rack rack = fabric::build_grid(&sim, p);
+  std::optional<bool> delivered;
+  rack.network->send_probe(rack.node_at(0, 0), rack.node_at(7, 7), DataSize::bytes(256),
+                           [&](SimTime, int hops, bool ok) {
+                             delivered = ok;
+                             EXPECT_EQ(hops, 14);
+                           });
+  sim.run_until();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_TRUE(*delivered);
+}
+
+TEST(FabricEdge, ReservationClearedOnStructuralChange) {
+  Simulator sim;
+  RackParams p;
+  p.width = 3;
+  p.height = 1;
+  Rack rack = fabric::build_grid(&sim, p);
+  const LinkId l01 = *rack.topology->link_between(0, 1);
+  rack.plant->set_reservation(l01, 99);
+  EXPECT_EQ(rack.plant->link(l01).reserved_for(), std::optional<std::uint64_t>(99));
+  // Splitting destroys the link; successors start unreserved.
+  const auto [a, b] = rack.plant->split_link(l01, 1);
+  EXPECT_FALSE(rack.plant->link(a).reserved_for().has_value());
+  EXPECT_FALSE(rack.plant->link(b).reserved_for().has_value());
+}
+
+TEST(FabricEdge, ProbeOverReservedOnlyPathIsDropped) {
+  // If the only path is a reserved circuit, anonymous traffic cannot
+  // cross: reservations really are private.
+  Simulator sim;
+  RackParams p;
+  p.width = 2;
+  p.height = 1;
+  Rack rack = fabric::build_grid(&sim, p);
+  const LinkId only = *rack.topology->link_between(0, 1);
+  rack.plant->set_reservation(only, 7);
+  std::optional<bool> delivered;
+  rack.network->send_probe(0, 1, DataSize::bytes(64),
+                           [&](SimTime, int, bool ok) { delivered = ok; });
+  sim.run_until();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_FALSE(*delivered);
+}
+
+TEST(FabricEdge, StoreAndForwardLatencyArithmetic) {
+  // SF per-hop cost = full serialization + prop + switch pipeline; the
+  // closed form must match the measured probe exactly.
+  Simulator sim;
+  RackParams p;
+  p.net_config.switch_params.cut_through = false;
+  Rack rack = fabric::build_chain(&sim, 4, p);
+  const DataSize size = DataSize::bytes(1024);
+  const auto& l = rack.plant->link(*rack.topology->link_between(0, 1));
+  const auto& sp = rack.network->config().switch_params;
+  const SimTime per_link =
+      l.serialization_delay(size) + l.propagation_delay() + l.fec().latency;
+  const SimTime expected = sp.nic_latency + per_link * std::int64_t{3} +
+                           sp.switch_latency * std::int64_t{2} + sp.nic_latency;
+  std::optional<SimTime> measured;
+  rack.network->send_probe(0, 3, size, [&](SimTime lat, int, bool) { measured = lat; });
+  sim.run_until();
+  ASSERT_TRUE(measured.has_value());
+  EXPECT_EQ(*measured, expected);
+}
+
+TEST(FabricEdge, EstimatedBerDrivesAdaptiveFecEndToEnd) {
+  // Full loop on *estimated* (telemetry-derived) BER: ramp a cable,
+  // keep traffic flowing so the estimator has codewords to count, and
+  // check the CRC still escalates FEC — without ever reading the
+  // oracle BER.
+  Simulator sim;
+  RackParams p;
+  p.width = 3;
+  p.height = 1;
+  p.fec = phy::FecScheme::kRsKr4;  // estimator needs a decoder running
+  Rack rack = fabric::build_grid(&sim, p);
+
+  core::CrcConfig cfg;
+  cfg.epoch = 200_us;
+  cfg.enable_adaptive_fec = true;
+  cfg.ring.use_estimated_ber = true;
+  // Estimator-driven control must keep a decoder running (see
+  // FecAdapterConfig::floor_scheme) or it goes blind.
+  cfg.fec.floor_scheme = phy::FecScheme::kRsKr4;
+  core::CrcController crc(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
+                          rack.router.get(), rack.network.get(), cfg);
+  crc.start();
+
+  const LinkId victim = *rack.topology->link_between(0, 1);
+  const phy::CableId cable = rack.plant->link(victim).segments().front().cable;
+  phy::BerDriver ber(&sim, rack.plant.get(), cable,
+                     phy::ramp_ber(1e-12, 2e-4, 1_ms, 6_ms), 100_us);
+  ber.start();
+
+  workload::GeneratorConfig gen_cfg;
+  gen_cfg.mean_interarrival = 50_us;
+  gen_cfg.horizon = 10_ms;
+  gen_cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(64));
+  workload::FlowGenerator gen(&sim, rack.network.get(),
+                              workload::TrafficMatrix::uniform(3), gen_cfg);
+  gen.start();
+  sim.run_until(15_ms);
+  ber.stop();
+  crc.stop();
+  sim.run_until();
+
+  const auto link_now = rack.topology->link_between(0, 1);
+  ASSERT_TRUE(link_now.has_value());
+  EXPECT_EQ(rack.plant->link(*link_now).fec().scheme, phy::FecScheme::kRsKp4);
+  // And the estimate itself is in the right decade.
+  const double est = rack.plant->estimated_pre_fec_ber(*link_now);
+  EXPECT_GT(est, 2e-5);
+  EXPECT_LT(est, 2e-3);
+}
+
+TEST(FabricEdge, RepeatedSplitBundleCyclesAreStable) {
+  Simulator sim;
+  RackParams p;
+  p.width = 2;
+  p.height = 1;
+  p.lanes_per_cable = 4;
+  p.lanes_per_link = 4;
+  Rack rack = fabric::build_grid(&sim, p);
+  LinkId current = rack.plant->link_ids().front();
+  for (int i = 0; i < 10; ++i) {
+    std::optional<plp::PlpResult> split;
+    rack.engine->submit(plp::SplitCommand{current, 2},
+                        [&](const plp::PlpResult& r) { split = r; });
+    sim.run_until();
+    ASSERT_TRUE(split && split->ok) << "iteration " << i;
+    std::optional<plp::PlpResult> bundle;
+    rack.engine->submit(plp::BundleCommand{split->created[0], split->created[1]},
+                        [&](const plp::PlpResult& r) { bundle = r; });
+    sim.run_until();
+    ASSERT_TRUE(bundle && bundle->ok) << "iteration " << i;
+    current = bundle->created.front();
+    ASSERT_TRUE(rack.plant->validate().empty());
+  }
+  EXPECT_EQ(rack.plant->link(current).lane_count(), 4);
+  EXPECT_TRUE(rack.plant->link(current).ready());
+}
+
+}  // namespace
+}  // namespace rsf

@@ -1,0 +1,280 @@
+#include "fabric/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "fabric/builders.hpp"
+
+namespace rsf::fabric {
+namespace {
+
+using phy::DataSize;
+using phy::LinkId;
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+using namespace rsf::sim::literals;
+
+struct NetFixture : ::testing::Test {
+  Simulator sim;
+  Rack rack;
+
+  explicit NetFixture(int w = 4, int h = 4) {
+    RackParams p;
+    p.width = w;
+    p.height = h;
+    rack = build_grid(&sim, p);
+  }
+
+  SimTime probe_latency(phy::NodeId src, phy::NodeId dst,
+                        DataSize size = DataSize::bytes(1024)) {
+    std::optional<SimTime> out;
+    rack.network->send_probe(src, dst, size, [&](SimTime lat, int, bool ok) {
+      ASSERT_TRUE(ok);
+      out = lat;
+    });
+    sim.run_until();
+    EXPECT_TRUE(out.has_value());
+    return out.value_or(SimTime::zero());
+  }
+};
+
+TEST_F(NetFixture, ProbeDeliversWithExpectedSingleHopLatency) {
+  const auto link = rack.topology->link_between(0, 1);
+  ASSERT_TRUE(link.has_value());
+  const auto& l = rack.plant->link(*link);
+  const DataSize size = DataSize::bytes(1024);
+  const SimTime expected = rack.network->config().switch_params.nic_latency +
+                           l.serialization_delay(size) + l.propagation_delay() +
+                           l.fec().latency +
+                           rack.network->config().switch_params.nic_latency;
+  EXPECT_EQ(probe_latency(0, 1, size), expected);
+}
+
+TEST_F(NetFixture, LatencyGrowsWithHopCount) {
+  const SimTime l1 = probe_latency(rack.node_at(0, 0), rack.node_at(1, 0));
+  const SimTime l2 = probe_latency(rack.node_at(0, 0), rack.node_at(2, 0));
+  const SimTime l3 = probe_latency(rack.node_at(0, 0), rack.node_at(3, 0));
+  EXPECT_GT(l2, l1);
+  EXPECT_GT(l3, l2);
+  // Per-hop increment includes the switch pipeline.
+  EXPECT_GE((l2 - l1).ns(), rack.network->config().switch_params.switch_latency.ns());
+}
+
+TEST_F(NetFixture, CutThroughBeatsStoreAndForward) {
+  RackParams sf;
+  sf.net_config.switch_params.cut_through = false;
+  Simulator sim2;
+  Rack rack_sf = build_grid(&sim2, sf);
+
+  std::optional<SimTime> sf_lat;
+  rack_sf.network->send_probe(rack_sf.node_at(0, 0), rack_sf.node_at(3, 0),
+                              DataSize::bytes(1024),
+                              [&](SimTime lat, int, bool) { sf_lat = lat; });
+  sim2.run_until();
+  const SimTime ct_lat = probe_latency(rack.node_at(0, 0), rack.node_at(3, 0));
+  ASSERT_TRUE(sf_lat.has_value());
+  EXPECT_LT(ct_lat, *sf_lat);
+}
+
+TEST_F(NetFixture, ProbeHopCountMatchesRoute) {
+  std::optional<int> hops;
+  rack.network->send_probe(rack.node_at(0, 0), rack.node_at(3, 3), DataSize::bytes(256),
+                           [&](SimTime, int h, bool) { hops = h; });
+  sim.run_until();
+  EXPECT_EQ(hops, 6);
+}
+
+TEST_F(NetFixture, FlowCompletesAndAccountsBytes) {
+  FlowSpec spec;
+  spec.id = 1;
+  spec.src = 0;
+  spec.dst = 5;
+  spec.size = DataSize::kilobytes(64);
+  spec.packet_size = DataSize::bytes(1024);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  // 64 kB = 64000 B = ceil(62.5) = 63 packets of 1024 B.
+  EXPECT_EQ(result->packets, 63u);
+  EXPECT_GT(result->completion_time(), SimTime::zero());
+  EXPECT_EQ(rack.network->flows_completed(), 1u);
+}
+
+TEST_F(NetFixture, ShortFinalPacketHandled) {
+  FlowSpec spec;
+  spec.id = 2;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size = DataSize::bytes(2500);  // 2 full + 1 partial packet
+  spec.packet_size = DataSize::bytes(1024);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->packets, 3u);
+}
+
+TEST_F(NetFixture, FlowThroughputApproachesLineRate) {
+  // One flow, one hop, 2 lanes x 25G with KR4 FEC: ~48.7 Gbps effective.
+  FlowSpec spec;
+  spec.id = 3;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size = DataSize::megabytes(10);
+  spec.packet_size = DataSize::bytes(4096);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  const double gbps =
+      static_cast<double>(spec.size.bit_count()) / result->completion_time().sec() / 1e9;
+  const double line = rack.plant->link(*rack.topology->link_between(0, 1))
+                          .effective_rate()
+                          .gbps_value();
+  EXPECT_GT(gbps, line * 0.9);
+  EXPECT_LE(gbps, line * 1.01);
+}
+
+TEST_F(NetFixture, TwoFlowsShareBottleneckFairly) {
+  FlowSpec a;
+  a.id = 10;
+  a.src = rack.node_at(0, 0);
+  a.dst = rack.node_at(1, 0);
+  a.size = DataSize::megabytes(1);
+  FlowSpec b = a;
+  b.id = 11;
+  b.src = rack.node_at(0, 0);
+
+  std::vector<FlowResult> results;
+  rack.network->start_flow(a, [&](const FlowResult& r) { results.push_back(r); });
+  rack.network->start_flow(b, [&](const FlowResult& r) { results.push_back(r); });
+  sim.run_until();
+  ASSERT_EQ(results.size(), 2u);
+  // Both finish in roughly double the solo time, within 25%.
+  const double t0 = results[0].completion_time().sec();
+  const double t1 = results[1].completion_time().sec();
+  EXPECT_NEAR(t0 / t1, 1.0, 0.25);
+}
+
+TEST_F(NetFixture, FrameLossCausesRetransmitsButFlowsComplete) {
+  // Crank BER with no FEC: heavy loss, retransmissions recover.
+  for (std::size_t c = 0; c < rack.plant->cable_count(); ++c) {
+    rack.plant->set_cable_ber(static_cast<phy::CableId>(c), 1e-6);
+  }
+  for (LinkId id : rack.plant->link_ids()) {
+    rack.plant->set_fec(id, phy::FecSpec::of(phy::FecScheme::kNone));
+  }
+  FlowSpec spec;
+  spec.id = 4;
+  spec.src = 0;
+  spec.dst = 2;
+  spec.size = DataSize::kilobytes(512);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_GT(result->retransmits, 0u);
+  EXPECT_GT(rack.network->counters().get("net.frames_corrupted"), 0u);
+}
+
+TEST_F(NetFixture, ProbeDropsWhenDestinationUnreachable) {
+  for (LinkId id : rack.topology->links_at(rack.node_at(3, 3))) {
+    rack.engine->submit(plp::ShutdownCommand{id});
+  }
+  sim.run_until();
+  std::optional<bool> delivered;
+  rack.network->send_probe(rack.node_at(0, 0), rack.node_at(3, 3), DataSize::bytes(64),
+                           [&](SimTime, int, bool ok) { delivered = ok; });
+  sim.run_until();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_FALSE(*delivered);
+  EXPECT_GT(rack.network->counters().get("net.drops.no_route"), 0u);
+}
+
+TEST_F(NetFixture, PacketsWaitOutReconfigurationWindow) {
+  // Start a long flow 0->1, then set FEC on its only direct link; the
+  // link is busy during actuation but packets reroute or wait and the
+  // flow still completes.
+  FlowSpec spec;
+  spec.id = 5;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size = DataSize::megabytes(1);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.schedule_at(10_us, [&] {
+    rack.engine->submit(
+        plp::SetFecCommand{*rack.topology->link_between(0, 1), phy::FecScheme::kRsKp4});
+  });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+}
+
+TEST_F(NetFixture, LinkUsageStatsAccumulate) {
+  FlowSpec spec;
+  spec.id = 6;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size = DataSize::kilobytes(100);
+  rack.network->start_flow(spec, nullptr);
+  sim.run_until();
+  const LinkId direct = *rack.topology->link_between(0, 1);
+  EXPECT_GT(rack.network->link_busy_time(direct), SimTime::zero());
+  EXPECT_GT(rack.network->link_packets(direct), 0u);
+  EXPECT_EQ(rack.network->link_packets(9999), 0u);
+  // Lane statistics (PLP #5) see the same traffic.
+  EXPECT_GT(rack.engine->stats_report(direct).bits_carried, 0u);
+}
+
+TEST_F(NetFixture, HistogramsPopulated) {
+  FlowSpec spec;
+  spec.id = 7;
+  spec.src = 0;
+  spec.dst = 5;
+  spec.size = DataSize::kilobytes(10);
+  rack.network->start_flow(spec, nullptr);
+  sim.run_until();
+  EXPECT_GT(rack.network->packet_latency().count(), 0u);
+  EXPECT_EQ(rack.network->flow_completion().count(), 1u);
+  EXPECT_GT(rack.network->hop_counts().mean(), 0.0);
+}
+
+TEST_F(NetFixture, RejectsBadFlowSpecs) {
+  FlowSpec bad;
+  bad.id = kNoFlow;
+  bad.src = 0;
+  bad.dst = 1;
+  bad.size = DataSize::bytes(1);
+  EXPECT_THROW(rack.network->start_flow(bad, nullptr), std::invalid_argument);
+  bad.id = 1;
+  bad.size = DataSize::zero();
+  EXPECT_THROW(rack.network->start_flow(bad, nullptr), std::invalid_argument);
+  bad.size = DataSize::bytes(10);
+  rack.network->start_flow(bad, nullptr);
+  EXPECT_THROW(rack.network->start_flow(bad, nullptr), std::invalid_argument);  // dup id
+}
+
+TEST_F(NetFixture, SwitchPowerGrowsWithTraffic) {
+  const double idle = rack.network->switch_power_watts();
+  FlowSpec spec;
+  spec.id = 8;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size = DataSize::megabytes(2);
+  bool done = false;
+  rack.network->start_flow(spec, [&](const FlowResult&) { done = true; });
+  // Sample power mid-flow.
+  sim.run_until(100_us);
+  const double busy = rack.network->switch_power_watts(100_us);
+  sim.run_until();
+  EXPECT_TRUE(done);
+  EXPECT_GT(busy, idle);
+}
+
+}  // namespace
+}  // namespace rsf::fabric

@@ -1,0 +1,168 @@
+#include "fabric/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/builders.hpp"
+
+namespace rsf::fabric {
+namespace {
+
+using phy::LinkId;
+using phy::NodeId;
+using rsf::sim::Simulator;
+
+struct GridFixture : ::testing::Test {
+  Simulator sim;
+  Rack rack;
+
+  GridFixture() {
+    RackParams p;
+    p.width = 4;
+    p.height = 4;
+    rack = build_grid(&sim, p);
+  }
+};
+
+TEST_F(GridFixture, NextHopNulloptAtDestination) {
+  EXPECT_FALSE(rack.router->next_hop(3, 3).has_value());
+}
+
+TEST_F(GridFixture, MinCostFindsManhattanPath) {
+  // 0 (0,0) -> 15 (3,3): 6 hops on a 4x4 grid.
+  EXPECT_EQ(rack.router->hop_count(rack.node_at(0, 0), rack.node_at(3, 3)), 6);
+  EXPECT_EQ(rack.router->hop_count(rack.node_at(0, 0), rack.node_at(1, 0)), 1);
+  EXPECT_EQ(rack.router->hop_count(rack.node_at(0, 0), rack.node_at(0, 0)), 0);
+}
+
+TEST_F(GridFixture, PathWalksConnectedLinks) {
+  const NodeId src = rack.node_at(0, 0);
+  const NodeId dst = rack.node_at(3, 2);
+  const auto path = rack.router->path(src, dst);
+  ASSERT_EQ(path.size(), 5u);
+  NodeId at = src;
+  for (LinkId id : path) {
+    const auto& l = rack.plant->link(id);
+    ASSERT_TRUE(l.connects(at));
+    at = l.other_end(at);
+  }
+  EXPECT_EQ(at, dst);
+}
+
+TEST_F(GridFixture, PathCostIsPositiveAndAdditive) {
+  const auto c1 = rack.router->path_cost(rack.node_at(0, 0), rack.node_at(1, 0));
+  const auto c2 = rack.router->path_cost(rack.node_at(0, 0), rack.node_at(2, 0));
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_GT(*c1, 0.0);
+  EXPECT_NEAR(*c2, 2.0 * *c1, 1e-6);
+  EXPECT_DOUBLE_EQ(rack.router->path_cost(5, 5).value(), 0.0);
+}
+
+TEST_F(GridFixture, UnreachableAfterLinkShutdown) {
+  // Cut both links of corner (0,0): unreachable.
+  for (LinkId id : rack.topology->links_at(rack.node_at(0, 0))) {
+    rack.engine->submit(plp::ShutdownCommand{id});
+  }
+  sim.run_until();
+  EXPECT_FALSE(rack.router->next_hop(rack.node_at(0, 0), rack.node_at(3, 3)).has_value());
+  EXPECT_EQ(rack.router->hop_count(rack.node_at(0, 0), rack.node_at(3, 3)), -1);
+  EXPECT_FALSE(rack.router->path_cost(rack.node_at(0, 0), rack.node_at(3, 3)).has_value());
+}
+
+TEST_F(GridFixture, PriceFnSteersRouting) {
+  // Make the direct west-east row prohibitively expensive; the path
+  // from (0,0) to (3,0) should then dodge through row 1.
+  const NodeId src = rack.node_at(0, 0);
+  const NodeId dst = rack.node_at(3, 0);
+  EXPECT_EQ(rack.router->hop_count(src, dst), 3);
+
+  rack.router->set_price_fn([this](LinkId id) {
+    const auto& l = rack.plant->link(id);
+    const auto ca = rack.topology->coord(l.end_a());
+    const auto cb = rack.topology->coord(l.end_b());
+    const bool in_row0 = ca && cb && ca->y == 0 && cb->y == 0;
+    return in_row0 ? 1e9 : 100.0;
+  });
+  const int hops = rack.router->hop_count(src, dst);
+  EXPECT_EQ(hops, 5);  // down, 3 east, up
+  // Restoring default prices restores the short path.
+  rack.router->set_price_fn(nullptr);
+  EXPECT_EQ(rack.router->hop_count(src, dst), 3);
+}
+
+TEST_F(GridFixture, BumpPricesInvalidatesCache) {
+  double price = 100.0;
+  rack.router->set_price_fn([&price](LinkId) { return price; });
+  const auto c1 = rack.router->path_cost(rack.node_at(0, 0), rack.node_at(1, 0));
+  price = 200.0;
+  rack.router->bump_prices();
+  const auto c2 = rack.router->path_cost(rack.node_at(0, 0), rack.node_at(1, 0));
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_GT(*c2, *c1);
+}
+
+TEST_F(GridFixture, InfinitePriceExcludesLink) {
+  // Price the (0,0)-(1,0) link infinite: routing goes around it.
+  const auto direct = rack.topology->link_between(rack.node_at(0, 0), rack.node_at(1, 0));
+  ASSERT_TRUE(direct.has_value());
+  rack.router->set_price_fn([&](LinkId id) {
+    return id == *direct ? std::numeric_limits<double>::infinity() : 100.0;
+  });
+  const auto next = rack.router->next_hop(rack.node_at(0, 0), rack.node_at(1, 0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NE(*next, *direct);
+}
+
+TEST_F(GridFixture, DefaultCostReflectsLatencyPlusHopPenalty) {
+  const LinkId id = rack.plant->link_ids().front();
+  const double cost = rack.router->default_cost(id);
+  const double latency_ns =
+      rack.plant->link(id).one_way_latency(phy::DataSize::bytes(1024)).ns();
+  EXPECT_NEAR(cost, latency_ns + 450.0, 1.0);
+}
+
+TEST_F(GridFixture, DimensionOrderRoutesXThenY) {
+  rack.router->set_policy(RoutingPolicy::kDimensionOrder);
+  const NodeId src = rack.node_at(0, 0);
+  const NodeId dst = rack.node_at(2, 2);
+  // First hop must move in x.
+  const auto first = rack.router->next_hop(src, dst);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(rack.plant->link(*first).other_end(src), rack.node_at(1, 0));
+  // From (2,0) the x is correct: moves in y.
+  const auto later = rack.router->next_hop(rack.node_at(2, 0), dst);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(rack.plant->link(*later).other_end(rack.node_at(2, 0)), rack.node_at(2, 1));
+}
+
+TEST(RouterTorus, DimensionOrderUsesWraparound) {
+  Simulator sim;
+  RackParams p;
+  p.width = 4;
+  p.height = 4;
+  p.routing = RoutingPolicy::kDimensionOrder;
+  Rack rack = build_torus(&sim, p);
+  // 0 (0,0) -> (3,0): wrap is 1 hop, interior is 3.
+  const auto first = rack.router->next_hop(rack.node_at(0, 0), rack.node_at(3, 0));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(rack.plant->link(*first).other_end(rack.node_at(0, 0)), rack.node_at(3, 0));
+}
+
+TEST(RouterTorus, MinCostExploitsWraparound) {
+  Simulator sim;
+  RackParams p;
+  p.width = 6;
+  p.height = 6;
+  Rack rack = build_torus(&sim, p);
+  // Opposite corners on a 6x6 torus: <= 6 hops (3+3 with wraps),
+  // where the grid needs 10.
+  const int hops = rack.router->hop_count(rack.node_at(0, 0), rack.node_at(5, 5));
+  EXPECT_LE(hops, 6);
+  EXPECT_GE(hops, 2);
+}
+
+TEST(Router, NullTopologyRejected) {
+  EXPECT_THROW(Router(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsf::fabric

@@ -1,0 +1,182 @@
+// System-wide invariants checked under randomized load — the
+// properties that must hold no matter what the control plane does:
+//   * packet conservation: injected = delivered + dropped (+ probes);
+//   * routing progress: every next_hop strictly decreases the
+//     remaining min-cost distance (no cycles under consistent tables);
+//   * plant lane conservation across arbitrary CRC activity;
+//   * simulation determinism with every controller feature enabled.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "fabric/builders.hpp"
+#include "phy/ber_profile.hpp"
+#include "workload/generator.hpp"
+
+namespace rsf {
+namespace {
+
+using fabric::Rack;
+using fabric::RackParams;
+using phy::DataSize;
+using phy::LinkId;
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+using namespace rsf::sim::literals;
+
+struct EverythingOn {
+  Simulator sim;
+  Rack rack;
+  std::unique_ptr<core::CrcController> crc;
+  std::unique_ptr<workload::FlowGenerator> gen;
+  std::vector<std::unique_ptr<phy::BerDriver>> ber;
+
+  explicit EverythingOn(std::uint64_t seed) {
+    RackParams p;
+    p.width = 4;
+    p.height = 4;
+    p.lanes_per_cable = 4;
+    p.lanes_per_link = 2;
+    p.net_config.seed = seed;
+    rack = fabric::build_grid(&sim, p);
+
+    core::CrcConfig cfg;
+    cfg.epoch = 150_us;
+    cfg.enable_adaptive_fec = true;
+    cfg.enable_power_manager = true;
+    cfg.power.cap_watts = rack.total_power_watts() * 0.95;
+    cfg.enable_health_manager = true;
+    cfg.enable_auto_torus = true;
+    cfg.torus_util_threshold = 0.3;
+    crc = std::make_unique<core::CrcController>(&sim, rack.plant.get(), rack.engine.get(),
+                                                rack.topology.get(), rack.router.get(),
+                                                rack.network.get(), cfg);
+    crc->start();
+
+    workload::GeneratorConfig gen_cfg;
+    gen_cfg.seed = seed;
+    gen_cfg.mean_interarrival = 40_us;
+    gen_cfg.horizon = 6_ms;
+    gen_cfg.sizes = workload::SizeDistribution::heavy_tail(1.3, 2e3, 2e5);
+    gen = std::make_unique<workload::FlowGenerator>(
+        &sim, rack.network.get(), workload::TrafficMatrix::uniform(16), gen_cfg);
+    gen->start();
+
+    // A BER spike and a lane failure mid-run keep every manager busy.
+    ber.push_back(std::make_unique<phy::BerDriver>(
+        &sim, rack.plant.get(), 0, phy::spike_ber(1e-12, 5e-5, 2_ms, 4_ms), 100_us));
+    ber.back()->start();
+    sim.schedule_at(3_ms, [this] {
+      rack.plant->fail_lane(phy::LaneRef{5, 0});
+    });
+  }
+
+  void run() {
+    sim.run_until(20_ms);
+    crc->stop();
+    for (auto& d : ber) d->stop();
+    sim.run_until();
+  }
+};
+
+TEST(Invariants, PacketConservationUnderFullChaos) {
+  EverythingOn world(11);
+  world.run();
+  const auto& c = world.rack.network->counters();
+  const std::uint64_t injected = c.get("net.packets_injected");
+  const std::uint64_t delivered = c.get("net.packets_delivered");
+  const std::uint64_t dropped = c.get("net.drops.no_route") +
+                                c.get("net.drops.retries_exhausted");
+  const std::uint64_t corrupted = c.get("net.frames_corrupted");
+  const std::uint64_t retransmits = c.get("net.retransmits");
+  // Every injected packet is eventually delivered or dropped; corrupted
+  // frames re-enter as retransmissions (which are not re-injections).
+  EXPECT_EQ(injected, delivered + dropped) << c.to_string();
+  EXPECT_LE(dropped, corrupted + 64);  // drops only via exhausted retries/no-route
+  EXPECT_GE(retransmits + dropped, corrupted);
+  EXPECT_GT(delivered, 0u);
+}
+
+TEST(Invariants, FlowAccountingConsistent) {
+  EverythingOn world(13);
+  world.run();
+  const auto& net = *world.rack.network;
+  EXPECT_EQ(net.flows_completed() + net.flows_failed(), world.gen->flows_generated());
+  EXPECT_EQ(world.gen->results().size(), world.gen->flows_generated());
+}
+
+TEST(Invariants, PlantValidAfterFullChaos) {
+  EverythingOn world(17);
+  world.run();
+  EXPECT_TRUE(world.rack.plant->validate().empty()) << world.rack.plant->validate();
+  // Lane conservation: owned + free + (possibly failed-free) = total.
+  std::size_t owned = 0;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < world.rack.plant->cable_count(); ++c) {
+    const auto id = static_cast<phy::CableId>(c);
+    total += static_cast<std::size_t>(world.rack.plant->cable(id).lane_count());
+    owned += static_cast<std::size_t>(world.rack.plant->cable(id).lane_count()) -
+             world.rack.plant->free_lanes(id).size();
+  }
+  EXPECT_LE(owned, total);
+  EXPECT_GT(owned, 0u);
+}
+
+TEST(Invariants, DeterministicUnderFullChaos) {
+  auto fingerprint = [](std::uint64_t seed) {
+    EverythingOn world(seed);
+    world.run();
+    return std::make_tuple(world.sim.executed(),
+                           world.rack.network->packet_latency().mean(),
+                           world.rack.network->counters().to_string());
+  };
+  const auto a = fingerprint(23);
+  const auto b = fingerprint(23);
+  EXPECT_EQ(a, b);
+  const auto c = fingerprint(29);
+  EXPECT_NE(std::get<0>(a), std::get<0>(c));
+}
+
+TEST(Invariants, NextHopStrictlyDecreasesDistance) {
+  // Under any fixed price state, following next_hop from every node to
+  // every destination must terminate (strictly decreasing remaining
+  // cost) — the no-routing-cycle property.
+  Simulator sim;
+  RackParams p;
+  p.width = 5;
+  p.height = 5;
+  Rack rack = fabric::build_torus(&sim, p);
+  for (phy::NodeId dst = 0; dst < 25; ++dst) {
+    for (phy::NodeId src = 0; src < 25; ++src) {
+      if (src == dst) continue;
+      phy::NodeId at = src;
+      int steps = 0;
+      auto last_cost = rack.router->path_cost(at, dst);
+      ASSERT_TRUE(last_cost.has_value());
+      while (at != dst && steps <= 25) {
+        const auto hop = rack.router->next_hop(at, dst);
+        ASSERT_TRUE(hop.has_value()) << "stuck at " << at << " -> " << dst;
+        at = rack.plant->link(*hop).other_end(at);
+        const auto cost = rack.router->path_cost(at, dst);
+        ASSERT_TRUE(cost.has_value());
+        EXPECT_LT(*cost, *last_cost + 1e-9);
+        last_cost = cost;
+        ++steps;
+      }
+      EXPECT_EQ(at, dst);
+    }
+  }
+}
+
+TEST(Invariants, BusyTimeNeverExceedsWallClock) {
+  EverythingOn world(31);
+  world.run();
+  const double wall = world.sim.now().sec();
+  for (LinkId id : world.rack.plant->link_ids()) {
+    // Each direction can be busy at most the whole run; we track both
+    // directions in one counter, so the bound is 2x.
+    EXPECT_LE(world.rack.network->link_busy_time(id).sec(), 2.0 * wall + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rsf

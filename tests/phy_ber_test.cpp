@@ -1,0 +1,90 @@
+#include "phy/ber_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsf::phy {
+namespace {
+
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+using namespace rsf::sim::literals;
+
+TEST(BerProfile, ConstantIsConstant) {
+  const BerProfile p = constant_ber(1e-9);
+  EXPECT_DOUBLE_EQ(p(0_ns), 1e-9);
+  EXPECT_DOUBLE_EQ(p(1_s), 1e-9);
+}
+
+TEST(BerProfile, RampEndpointsAndMonotonicity) {
+  const BerProfile p = ramp_ber(1e-12, 1e-6, 1_ms, 2_ms);
+  EXPECT_DOUBLE_EQ(p(0_ns), 1e-12);
+  EXPECT_DOUBLE_EQ(p(1_ms), 1e-12);
+  EXPECT_DOUBLE_EQ(p(2_ms), 1e-6);
+  EXPECT_DOUBLE_EQ(p(3_ms), 1e-6);
+  double prev = 0;
+  for (int i = 0; i <= 10; ++i) {
+    const double v = p(1_ms + SimTime::microseconds(i * 100.0));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  // Log-linear: midpoint is the geometric mean.
+  EXPECT_NEAR(p(SimTime::microseconds(1500)), 1e-9, 1e-10);
+}
+
+TEST(BerProfile, RampRejectsBadArgs) {
+  EXPECT_THROW(ramp_ber(0.0, 1e-6, 0_ns, 1_ms), std::invalid_argument);
+  EXPECT_THROW(ramp_ber(1e-9, 1e-6, 1_ms, 1_ms), std::invalid_argument);
+}
+
+TEST(BerProfile, SpikeWindow) {
+  const BerProfile p = spike_ber(1e-12, 1e-4, 10_us, 20_us);
+  EXPECT_DOUBLE_EQ(p(5_us), 1e-12);
+  EXPECT_DOUBLE_EQ(p(10_us), 1e-4);
+  EXPECT_DOUBLE_EQ(p(19_us), 1e-4);
+  EXPECT_DOUBLE_EQ(p(20_us), 1e-12);
+}
+
+TEST(BerDriver, AppliesProfileOverTime) {
+  Simulator sim;
+  PhysicalPlant plant;
+  const CableId cable =
+      plant.add_cable(0, 1, 2.0, Medium::kFiber, 2, DataRate::gbps(25));
+  BerDriver driver(&sim, &plant, cable, ramp_ber(1e-12, 1e-6, 0_ns, 100_us), 10_us);
+  driver.start();
+  sim.run_until(50_us);
+  const double mid = plant.cable(cable).lane(0).pre_fec_ber();
+  EXPECT_GT(mid, 1e-12);
+  EXPECT_LT(mid, 1e-6);
+  sim.run_until(100_us);
+  driver.stop();
+  const std::size_t events_after_stop = sim.pending();
+  EXPECT_EQ(events_after_stop, 0u);
+  EXPECT_NEAR(plant.cable(cable).lane(0).pre_fec_ber(), 1e-6, 1e-7);
+  EXPECT_DOUBLE_EQ(plant.cable(cable).lane(0).pre_fec_ber(),
+                   plant.cable(cable).lane(1).pre_fec_ber());
+}
+
+TEST(BerDriver, StartIsIdempotent) {
+  Simulator sim;
+  PhysicalPlant plant;
+  const CableId cable = plant.add_cable(0, 1, 2.0, Medium::kFiber, 1, DataRate::gbps(25));
+  BerDriver driver(&sim, &plant, cable, constant_ber(1e-9), 10_us);
+  driver.start();
+  driver.start();
+  EXPECT_LE(sim.pending(), 1u);
+  driver.stop();
+}
+
+TEST(BerDriver, ValidatesArguments) {
+  Simulator sim;
+  PhysicalPlant plant;
+  const CableId cable = plant.add_cable(0, 1, 2.0, Medium::kFiber, 1, DataRate::gbps(25));
+  EXPECT_THROW(BerDriver(nullptr, &plant, cable, constant_ber(1e-9), 1_us),
+               std::invalid_argument);
+  EXPECT_THROW(BerDriver(&sim, &plant, cable, BerProfile{}, 1_us), std::invalid_argument);
+  EXPECT_THROW(BerDriver(&sim, &plant, cable, constant_ber(1e-9), 0_ns),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsf::phy

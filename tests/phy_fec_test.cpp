@@ -1,0 +1,172 @@
+#include "phy/fec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rsf::phy {
+namespace {
+
+using rsf::sim::SimTime;
+
+TEST(FecSpec, NoneHasNoOverheadOrLatency) {
+  const FecSpec spec = FecSpec::of(FecScheme::kNone);
+  EXPECT_DOUBLE_EQ(spec.overhead, 0.0);
+  EXPECT_EQ(spec.latency, SimTime::zero());
+  EXPECT_EQ(spec.n, 0);
+}
+
+TEST(FecSpec, OverheadOrderingMatchesProtectionOrdering) {
+  const double none = FecSpec::of(FecScheme::kNone).overhead;
+  const double fire = FecSpec::of(FecScheme::kFireCode).overhead;
+  const double kr4 = FecSpec::of(FecScheme::kRsKr4).overhead;
+  const double kp4 = FecSpec::of(FecScheme::kRsKp4).overhead;
+  EXPECT_LT(none, fire);
+  EXPECT_LT(fire, kr4);
+  EXPECT_LT(kr4, kp4);
+}
+
+TEST(FecSpec, LatencyOrdering) {
+  EXPECT_LT(FecSpec::of(FecScheme::kFireCode).latency, FecSpec::of(FecScheme::kRsKr4).latency);
+  EXPECT_LT(FecSpec::of(FecScheme::kRsKr4).latency, FecSpec::of(FecScheme::kRsKp4).latency);
+}
+
+TEST(FecSpec, EffectiveRateAppliesOverhead) {
+  const FecSpec kp4 = FecSpec::of(FecScheme::kRsKp4);
+  const DataRate raw = DataRate::gbps(100);
+  EXPECT_NEAR(kp4.effective_rate(raw).gbps_value(), 100.0 * (1 - kp4.overhead), 1e-9);
+  EXPECT_DOUBLE_EQ(FecSpec::of(FecScheme::kNone).effective_rate(raw).gbps_value(), 100.0);
+}
+
+TEST(FecSpec, UncodedCodewordErrorIsBer) {
+  const FecSpec none = FecSpec::of(FecScheme::kNone);
+  EXPECT_DOUBLE_EQ(none.codeword_error_prob(1e-6), 1e-6);
+}
+
+TEST(FecSpec, CodewordErrorZeroAtZeroBer) {
+  for (FecScheme s : kAllFecSchemes) {
+    EXPECT_EQ(FecSpec::of(s).codeword_error_prob(0.0), 0.0) << to_string(s);
+  }
+}
+
+TEST(FecSpec, CodewordErrorMonotonicInBer) {
+  const FecSpec kr4 = FecSpec::of(FecScheme::kRsKr4);
+  double prev = 0.0;
+  for (double ber : {1e-9, 1e-7, 1e-5, 1e-4, 1e-3}) {
+    const double p = kr4.codeword_error_prob(ber);
+    EXPECT_GE(p, prev) << "ber=" << ber;
+    prev = p;
+  }
+}
+
+TEST(FecSpec, StrongerCodeHasLowerCodewordError) {
+  // At a moderately bad BER the heavier code must do better.
+  for (double ber : {1e-5, 1e-4, 3e-4}) {
+    const double kr4 = FecSpec::of(FecScheme::kRsKr4).codeword_error_prob(ber);
+    const double kp4 = FecSpec::of(FecScheme::kRsKp4).codeword_error_prob(ber);
+    EXPECT_LT(kp4, kr4) << "ber=" << ber;
+  }
+}
+
+TEST(FecSpec, Kp4DeliversHugeCodingGain) {
+  // RS(544,514) takes a 1e-5 channel to effectively error-free.
+  const FecSpec kp4 = FecSpec::of(FecScheme::kRsKp4);
+  EXPECT_LT(kp4.frame_loss_prob(1e-5, DataSize::bytes(1500)), 1e-12);
+  // ...but cannot rescue a 1e-2 channel.
+  EXPECT_GT(kp4.frame_loss_prob(1e-2, DataSize::bytes(1500)), 0.1);
+}
+
+TEST(FecSpec, FrameLossZeroForEmptyFrame) {
+  EXPECT_EQ(FecSpec::of(FecScheme::kRsKr4).frame_loss_prob(1e-3, DataSize::zero()), 0.0);
+}
+
+TEST(FecSpec, UncodedFrameLossMatchesClosedForm) {
+  const FecSpec none = FecSpec::of(FecScheme::kNone);
+  const double ber = 1e-8;
+  const auto frame = DataSize::bytes(1500);
+  const double expected = 1.0 - std::pow(1.0 - ber, static_cast<double>(frame.bit_count()));
+  EXPECT_NEAR(none.frame_loss_prob(ber, frame), expected, expected * 1e-6);
+}
+
+TEST(FecSpec, FrameLossIncreasesWithFrameSize) {
+  const FecSpec kr4 = FecSpec::of(FecScheme::kRsKr4);
+  const double small = kr4.frame_loss_prob(2e-4, DataSize::bytes(64));
+  const double large = kr4.frame_loss_prob(2e-4, DataSize::bytes(9000));
+  EXPECT_LT(small, large);
+}
+
+TEST(FecSpec, FrameLossIsProbability) {
+  for (FecScheme s : kAllFecSchemes) {
+    for (double ber : {0.0, 1e-12, 1e-6, 1e-3, 0.5, 1.0}) {
+      const double p = FecSpec::of(s).frame_loss_prob(ber, DataSize::bytes(1500));
+      EXPECT_GE(p, 0.0) << to_string(s) << " ber=" << ber;
+      EXPECT_LE(p, 1.0) << to_string(s) << " ber=" << ber;
+    }
+  }
+}
+
+TEST(FecSpec, PostFecBerImprovesOnPreFec) {
+  for (FecScheme s : {FecScheme::kFireCode, FecScheme::kRsKr4, FecScheme::kRsKp4}) {
+    const double pre = 1e-6;
+    EXPECT_LT(FecSpec::of(s).post_fec_ber(pre), pre) << to_string(s);
+  }
+}
+
+TEST(FecSpec, PostFecBerUncodedIsIdentity) {
+  EXPECT_DOUBLE_EQ(FecSpec::of(FecScheme::kNone).post_fec_ber(1e-7), 1e-7);
+}
+
+TEST(FecSpec, IeeeKp4ThresholdBehaviour) {
+  // KP4 is specified to deliver ~1e-15 post-FEC at ~2.2e-4 pre-FEC.
+  // Our analytic model should put the 1e-13 boundary in that decade.
+  const FecSpec kp4 = FecSpec::of(FecScheme::kRsKp4);
+  EXPECT_LT(kp4.post_fec_ber(1e-4), 1e-12);
+  EXPECT_GT(kp4.post_fec_ber(3e-3), 1e-9);
+}
+
+struct FecCase {
+  FecScheme scheme;
+  double ber;
+};
+
+class FecPropertyTest : public ::testing::TestWithParam<FecCase> {};
+
+TEST_P(FecPropertyTest, CodewordErrorIsProbability) {
+  const auto& c = GetParam();
+  const double p = FecSpec::of(c.scheme).codeword_error_prob(c.ber);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_P(FecPropertyTest, PostFecImprovesInWorkingRegime) {
+  // Below a code's breaking point FEC must improve the BER. Above it,
+  // error propagation from failed codewords can amplify errors (real
+  // decoders mis-correct too), so the guarantee only applies while the
+  // codeword error probability is small.
+  const auto& c = GetParam();
+  const FecSpec spec = FecSpec::of(c.scheme);
+  const double post = spec.post_fec_ber(c.ber);
+  EXPECT_GE(post, 0.0);
+  EXPECT_LE(post, 1.0);
+  if (spec.codeword_error_prob(c.ber) < 1e-2) {
+    EXPECT_LE(post, c.ber + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FecPropertyTest,
+    ::testing::Values(FecCase{FecScheme::kNone, 1e-12}, FecCase{FecScheme::kNone, 1e-3},
+                      FecCase{FecScheme::kFireCode, 1e-9}, FecCase{FecScheme::kFireCode, 1e-4},
+                      FecCase{FecScheme::kRsKr4, 1e-10}, FecCase{FecScheme::kRsKr4, 1e-5},
+                      FecCase{FecScheme::kRsKr4, 1e-3}, FecCase{FecScheme::kRsKp4, 1e-8},
+                      FecCase{FecScheme::kRsKp4, 1e-4}, FecCase{FecScheme::kRsKp4, 1e-2}));
+
+TEST(FecScheme, Names) {
+  EXPECT_EQ(to_string(FecScheme::kNone), "none");
+  EXPECT_EQ(to_string(FecScheme::kFireCode), "fire-code");
+  EXPECT_EQ(to_string(FecScheme::kRsKr4), "rs-kr4");
+  EXPECT_EQ(to_string(FecScheme::kRsKp4), "rs-kp4");
+}
+
+}  // namespace
+}  // namespace rsf::phy

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "phy/medium.hpp"
+#include "phy/units.hpp"
+
+namespace rsf::phy {
+namespace {
+
+using rsf::sim::SimTime;
+using namespace rsf::sim::literals;
+
+TEST(DataSize, Factories) {
+  EXPECT_EQ(DataSize::bits(8).bit_count(), 8);
+  EXPECT_EQ(DataSize::bytes(1).bit_count(), 8);
+  EXPECT_EQ(DataSize::kilobytes(1).bit_count(), 8000);
+  EXPECT_EQ(DataSize::megabytes(1).bit_count(), 8'000'000);
+  EXPECT_EQ(DataSize::gigabytes(1).bit_count(), 8'000'000'000);
+  EXPECT_EQ(DataSize::zero().bit_count(), 0);
+}
+
+TEST(DataSize, ByteCount) {
+  EXPECT_DOUBLE_EQ(DataSize::bytes(1500).byte_count(), 1500.0);
+  EXPECT_DOUBLE_EQ(DataSize::bits(4).byte_count(), 0.5);
+}
+
+TEST(DataSize, Arithmetic) {
+  EXPECT_EQ(DataSize::bytes(1) + DataSize::bytes(2), DataSize::bytes(3));
+  EXPECT_EQ(DataSize::bytes(5) - DataSize::bytes(2), DataSize::bytes(3));
+  EXPECT_EQ(DataSize::bytes(2) * 3, DataSize::bytes(6));
+  DataSize s = DataSize::bytes(1);
+  s += DataSize::bytes(1);
+  EXPECT_EQ(s, DataSize::bytes(2));
+}
+
+TEST(DataSize, Comparisons) {
+  EXPECT_LT(DataSize::bytes(1), DataSize::bytes(2));
+  EXPECT_GE(DataSize::kilobytes(1), DataSize::bytes(1000));
+}
+
+TEST(DataSize, ToString) {
+  EXPECT_EQ(DataSize::bytes(64).to_string(), "64B");
+  EXPECT_EQ(DataSize::kilobytes(1.5).to_string(), "1.50KB");
+  EXPECT_EQ(DataSize::megabytes(2).to_string(), "2.00MB");
+  EXPECT_EQ(DataSize::gigabytes(3).to_string(), "3.00GB");
+}
+
+TEST(DataRate, Factories) {
+  EXPECT_DOUBLE_EQ(DataRate::gbps(25).bits_per_second(), 25e9);
+  EXPECT_DOUBLE_EQ(DataRate::mbps(100).bits_per_second(), 1e8);
+  EXPECT_DOUBLE_EQ(DataRate::gbps(100).gbps_value(), 100.0);
+  EXPECT_TRUE(DataRate::zero().is_zero());
+}
+
+TEST(DataRate, Arithmetic) {
+  EXPECT_EQ(DataRate::gbps(25) + DataRate::gbps(25), DataRate::gbps(50));
+  EXPECT_EQ(DataRate::gbps(50) - DataRate::gbps(20), DataRate::gbps(30));
+  EXPECT_EQ(DataRate::gbps(25) * 4.0, DataRate::gbps(100));
+  EXPECT_DOUBLE_EQ(DataRate::gbps(50) / DataRate::gbps(25), 2.0);
+}
+
+TEST(DataRate, ToString) {
+  EXPECT_EQ(DataRate::gbps(25).to_string(), "25.00Gbps");
+  EXPECT_EQ(DataRate::mbps(10).to_string(), "10.00Mbps");
+}
+
+TEST(TransmissionTime, CanonicalValues) {
+  // 1500B at 100G: 12000 bits / 1e11 bps = 120 ns.
+  EXPECT_EQ(transmission_time(DataSize::bytes(1500), DataRate::gbps(100)), 120_ns);
+  // 64B at 25G: 512 / 25e9 = 20.48 ns.
+  EXPECT_EQ(transmission_time(DataSize::bytes(64), DataRate::gbps(25)),
+            SimTime::picoseconds(20480));
+}
+
+TEST(TransmissionTime, Degenerates) {
+  EXPECT_EQ(transmission_time(DataSize::zero(), DataRate::gbps(1)), SimTime::zero());
+  EXPECT_EQ(transmission_time(DataSize::bytes(1), DataRate::zero()), SimTime::infinity());
+}
+
+TEST(TransmissionTime, ScalesLinearlyWithSize) {
+  const auto t1 = transmission_time(DataSize::bytes(1000), DataRate::gbps(10));
+  const auto t2 = transmission_time(DataSize::bytes(2000), DataRate::gbps(10));
+  EXPECT_EQ(t2.ps(), 2 * t1.ps());
+}
+
+TEST(Medium, PropagationPerMeter) {
+  EXPECT_EQ(propagation_per_meter(Medium::kFiber), 5_ns);
+  EXPECT_EQ(propagation_per_meter(Medium::kCopper), SimTime::picoseconds(4300));
+  EXPECT_LT(propagation_per_meter(Medium::kFreeSpaceOptic),
+            propagation_per_meter(Medium::kCopper));
+}
+
+TEST(Medium, PropagationScalesWithDistance) {
+  EXPECT_EQ(propagation_delay(Medium::kFiber, 2.0), 10_ns);
+  // The paper's point: 40 m of fibre is only 200 ns.
+  EXPECT_EQ(propagation_delay(Medium::kFiber, 40.0), 200_ns);
+}
+
+TEST(Medium, Names) {
+  EXPECT_EQ(to_string(Medium::kFiber), "fiber");
+  EXPECT_EQ(to_string(Medium::kCopper), "copper");
+  EXPECT_EQ(to_string(Medium::kFreeSpaceOptic), "free-space");
+}
+
+}  // namespace
+}  // namespace rsf::phy

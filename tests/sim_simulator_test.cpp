@@ -1,0 +1,269 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rsf::sim {
+namespace {
+
+using namespace rsf::sim::literals;
+
+TEST(Simulator, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsSingleEventAtItsTime) {
+  Simulator sim;
+  SimTime fired_at = SimTime::zero();
+  sim.schedule_at(10_ns, [&] { fired_at = sim.now(); });
+  EXPECT_EQ(sim.run_until(), 1u);
+  EXPECT_EQ(fired_at, 10_ns);
+  EXPECT_EQ(sim.now(), 10_ns);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_ns, [&] { order.push_back(3); });
+  sim.schedule_at(10_ns, [&] { order.push_back(1); });
+  sim.schedule_at(20_ns, [&] { order.push_back(2); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5_ns, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime inner_fired = SimTime::zero();
+  sim.schedule_at(10_ns, [&] {
+    sim.schedule_after(5_ns, [&] { inner_fired = sim.now(); });
+  });
+  sim.run_until();
+  EXPECT_EQ(inner_fired, 15_ns);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10_ns, [] {});
+  sim.run_until();
+  EXPECT_THROW(sim.schedule_at(5_ns, [] {}), std::logic_error);
+}
+
+TEST(Simulator, EmptyHandlerThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1_ns, EventHandler{}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10_ns, [&] { ++fired; });
+  sim.schedule_at(100_ns, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(50_ns), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10_ns);  // clock stays at last event, horizon not reached by idle
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run_until(100_ns), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(50_ns, [&] { ++fired; });
+  sim.run_until(50_ns);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToHorizonWhenIdle) {
+  Simulator sim;
+  sim.run_until(1_us);
+  EXPECT_EQ(sim.now(), 1_us);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(10_ns, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10_ns, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10_ns, [] {});
+  sim.run_until();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulator, CancelledEventsDontBlockHorizon) {
+  Simulator sim;
+  int fired = 0;
+  const EventId early = sim.schedule_at(10_ns, [&] { ++fired; });
+  sim.schedule_at(100_ns, [&] { ++fired; });
+  sim.cancel(early);
+  // Horizon between the tombstone and the live event: nothing fires.
+  EXPECT_EQ(sim.run_until(50_ns), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunEventsBoundsExecution) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(SimTime::nanoseconds(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_events(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 2u);
+}
+
+TEST(Simulator, SelfReschedulingEventTerminatesWithHorizon) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_after(10_ns, tick);
+  };
+  sim.schedule_at(SimTime::zero(), tick);
+  sim.run_until(95_ns);
+  EXPECT_EQ(count, 10);  // t = 0,10,...,90
+}
+
+TEST(Simulator, ExecutedCounterAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(SimTime::nanoseconds(i + 1), [] {});
+  sim.run_until();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, FastForwardRequiresIdle) {
+  Simulator sim;
+  sim.schedule_at(10_ns, [] {});
+  EXPECT_THROW(sim.fast_forward_to(1_us), std::logic_error);
+  sim.run_until();
+  sim.fast_forward_to(1_us);
+  EXPECT_EQ(sim.now(), 1_us);
+  EXPECT_THROW(sim.fast_forward_to(1_ns), std::logic_error);
+}
+
+TEST(Simulator, HandlerSchedulingAtCurrentInstantRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(10_ns, [&] { sim.schedule_at(sim.now(), [&] { ran = true; }); });
+  sim.run_until();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, WeakEventsDoNotKeepSimulationAlive) {
+  Simulator sim;
+  int weak_fired = 0;
+  // A self-rescheduling weak ticker (like a controller epoch).
+  std::function<void()> tick = [&] {
+    ++weak_fired;
+    sim.schedule_weak_after(10_ns, tick);
+  };
+  sim.schedule_weak_at(0_ns, tick);
+  int strong_fired = 0;
+  sim.schedule_at(35_ns, [&] { ++strong_fired; });
+  // Unbounded run terminates once only the ticker remains; the ticker
+  // ran while the strong event kept the simulation alive.
+  sim.run_until();
+  EXPECT_EQ(strong_fired, 1);
+  EXPECT_EQ(weak_fired, 4);  // t = 0, 10, 20, 30
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending_weak(), 1u);  // next tick still queued
+}
+
+TEST(Simulator, WeakEventsRunUnderFiniteHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_weak_at(10_ns, [&] { ++fired; });
+  sim.run_until(20_ns);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20_ns);
+}
+
+TEST(Simulator, OnlyWeakEventsMeansImmediateReturn) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_weak_at(10_ns, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelWeakEvent) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_weak_at(10_ns, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run_until(1_us);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, WeakAndStrongInterleaveInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_weak_at(10_ns, [&] { order.push_back(1); });
+  sim.schedule_at(20_ns, [&] { order.push_back(2); });
+  sim.schedule_weak_at(15_ns, [&] { order.push_back(3); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, FastForwardBlockedByWeakEvents) {
+  Simulator sim;
+  sim.schedule_weak_at(10_ns, [] {});
+  // Jumping past a queued weak event would let it fire "in the past".
+  EXPECT_THROW(sim.fast_forward_to(1_us), std::logic_error);
+}
+
+TEST(Simulator, ManyEventsStaySorted) {
+  Simulator sim;
+  SimTime last = SimTime::zero();
+  bool monotonic = true;
+  // Deliberately adversarial insertion order.
+  for (int i = 999; i >= 0; --i) {
+    sim.schedule_at(SimTime::nanoseconds((i * 7919) % 1000 + 1), [&] {
+      if (sim.now() < last) monotonic = false;
+      last = sim.now();
+    });
+  }
+  EXPECT_EQ(sim.run_until(), 1000u);
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace rsf::sim

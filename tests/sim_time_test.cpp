@@ -1,0 +1,102 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rsf::sim {
+namespace {
+
+using namespace rsf::sim::literals;
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.ps(), 0);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, FactoryConversions) {
+  EXPECT_EQ(SimTime::picoseconds(1500).ps(), 1500);
+  EXPECT_EQ(SimTime::nanoseconds(1.5).ps(), 1500);
+  EXPECT_EQ(SimTime::microseconds(2).ps(), 2'000'000);
+  EXPECT_EQ(SimTime::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(SimTime::seconds(1).ps(), 1'000'000'000'000);
+}
+
+TEST(SimTime, AccessorsRoundTrip) {
+  const SimTime t = SimTime::microseconds(3.25);
+  EXPECT_DOUBLE_EQ(t.us(), 3.25);
+  EXPECT_DOUBLE_EQ(t.ns(), 3250.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 0.00325);
+  EXPECT_DOUBLE_EQ(t.sec(), 3.25e-6);
+}
+
+TEST(SimTime, Literals) {
+  EXPECT_EQ((5_ns).ps(), 5000);
+  EXPECT_EQ((2_us).ps(), 2'000'000);
+  EXPECT_EQ((1_ms).ps(), 1'000'000'000);
+  EXPECT_EQ((1_s).ps(), 1'000'000'000'000);
+  EXPECT_EQ((7_ps).ps(), 7);
+}
+
+TEST(SimTime, ComparisonOperators) {
+  EXPECT_LT(1_ns, 1_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_LE(5_ns, 5_ns);
+  EXPECT_NE(1_ns, 2_ns);
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(1_us + 500_ns, SimTime::nanoseconds(1500));
+  EXPECT_EQ(1_us - 400_ns, 600_ns);
+  EXPECT_EQ(3_ns * std::int64_t{4}, 12_ns);
+  EXPECT_EQ(std::int64_t{4} * 3_ns, 12_ns);
+  EXPECT_EQ(12_ns / std::int64_t{4}, 3_ns);
+  EXPECT_EQ(12_ns / 3_ns, 4);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = 10_ns;
+  t += 5_ns;
+  EXPECT_EQ(t, 15_ns);
+  t -= 10_ns;
+  EXPECT_EQ(t, 5_ns);
+}
+
+TEST(SimTime, ScalarDoubleMultiply) {
+  EXPECT_EQ(10_ns * 2.5, 25_ns);
+  EXPECT_EQ(10_ns * 0.5, 5_ns);
+}
+
+TEST(SimTime, RatioOfDurations) {
+  EXPECT_DOUBLE_EQ((500_ns).ratio(1_us), 0.5);
+  EXPECT_DOUBLE_EQ((3_us).ratio(1_us), 3.0);
+}
+
+TEST(SimTime, InfinityIsLargerThanEverything) {
+  EXPECT_GT(SimTime::infinity(), SimTime::seconds(1e6));
+  EXPECT_GT(SimTime::infinity(), 1_s);
+}
+
+TEST(SimTime, NegativeDurationsBehave) {
+  const SimTime t = 1_ns - 3_ns;
+  EXPECT_EQ(t.ps(), -2000);
+  EXPECT_LT(t, SimTime::zero());
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ((1500_ps).to_string(), "1.500ns");
+  EXPECT_EQ((2_us).to_string(), "2.000us");
+  EXPECT_EQ((0_ps).to_string(), "0.000ps");
+  EXPECT_EQ((3_ms).to_string(), "3.000ms");
+  EXPECT_EQ((2_s).to_string(), "2.000s");
+}
+
+TEST(SimTime, StreamOperator) {
+  std::ostringstream oss;
+  oss << 250_ns;
+  EXPECT_EQ(oss.str(), "250.000ns");
+}
+
+}  // namespace
+}  // namespace rsf::sim

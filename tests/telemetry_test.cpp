@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/table.hpp"
+
+namespace rsf::telemetry {
+namespace {
+
+using rsf::sim::SimTime;
+using namespace rsf::sim::literals;
+
+// --- Histogram ---
+
+TEST(Histogram, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_NEAR(h.p50(), 1000.0, 1000.0 * 0.02);
+  EXPECT_DOUBLE_EQ(h.min(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(Histogram, MeanAndStddevExact) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_NEAR(h.stddev(), 2.0, 1e-9);
+}
+
+TEST(Histogram, QuantileBoundedRelativeError) {
+  Histogram h;
+  rsf::sim::RandomStream rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(1.0, 1e9);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.05) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileMonotonicInQ) {
+  Histogram h;
+  rsf::sim::RandomStream rng(6);
+  for (int i = 0; i < 5000; ++i) h.record(rng.uniform(1.0, 1e6));
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  for (double v : {10.0, 100.0, 1000.0}) h.record(v);
+  EXPECT_LE(h.p999(), h.max());
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, SubUnitValuesCountedInQuantiles) {
+  Histogram h;
+  h.record(0.5);
+  h.record(0.1);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.quantile(0.3), 1.0);
+  EXPECT_GT(h.quantile(0.99), 50.0);
+}
+
+TEST(Histogram, RecordsSimTime) {
+  Histogram h;
+  h.record(5_us);
+  EXPECT_DOUBLE_EQ(h.mean(), 5e6);  // ps
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 100; ++i) a.record(static_cast<double>(i));
+  for (int i = 101; i <= 200; ++i) b.record(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.mean(), 100.5);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.record(42.0);
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 42.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, SummaryStringsMention) {
+  Histogram h;
+  h.record(1_us);
+  EXPECT_NE(h.summary_time().find("n=1"), std::string::npos);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+// --- CounterSet ---
+
+TEST(CounterSet, AddAndGet) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_TRUE(c.has("x"));
+  EXPECT_FALSE(c.has("y"));
+}
+
+TEST(CounterSet, Gauges) {
+  CounterSet c;
+  c.set_gauge("power", 120.5);
+  EXPECT_DOUBLE_EQ(c.gauge("power"), 120.5);
+  c.set_gauge("power", 99.0);
+  EXPECT_DOUBLE_EQ(c.gauge("power"), 99.0);
+  EXPECT_TRUE(c.has("power"));
+}
+
+TEST(CounterSet, DiffSubtracts) {
+  CounterSet before;
+  before.add("pkts", 100);
+  CounterSet after;
+  after.add("pkts", 150);
+  after.add("drops", 3);
+  const CounterSet d = after.diff(before);
+  EXPECT_EQ(d.get("pkts"), 50u);
+  EXPECT_EQ(d.get("drops"), 3u);
+}
+
+TEST(CounterSet, MergeAccumulates) {
+  CounterSet a;
+  a.add("x", 1);
+  CounterSet b;
+  b.add("x", 2);
+  b.add("y", 3);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 3u);
+  EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(CounterSet, ToStringStable) {
+  CounterSet c;
+  c.add("b", 2);
+  c.add("a", 1);
+  EXPECT_EQ(c.to_string(), "a=1 b=2");  // sorted by name
+}
+
+// --- TimeSeries ---
+
+TEST(TimeSeries, ValueAtStepSemantics) {
+  TimeSeries s("x");
+  s.record(10_ns, 1.0);
+  s.record(20_ns, 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(5_ns, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(10_ns), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(15_ns), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(25_ns), 2.0);
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  TimeSeries s("x");
+  s.record(0_ns, 1.0);
+  s.record(10_ns, 3.0);
+  // [0,10): 1.0, [10,20): 3.0 => mean over [0,20) = 2.0
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(0_ns, 20_ns), 2.0);
+}
+
+TEST(TimeSeries, FirstReachFindsSettlingTime) {
+  TimeSeries s("x");
+  s.record(0_ns, 10.0);
+  s.record(5_ns, 7.0);
+  s.record(9_ns, 5.05);
+  EXPECT_EQ(s.first_reach(5.0, 0.1), 9_ns);
+  EXPECT_EQ(s.first_reach(5.0, 0.1, 10_ns), SimTime::infinity());
+  EXPECT_EQ(s.first_reach(100.0, 0.1), SimTime::infinity());
+}
+
+TEST(TimeSeries, MinMax) {
+  TimeSeries s("x");
+  s.record(0_ns, 3.0);
+  s.record(1_ns, -2.0);
+  s.record(2_ns, 7.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 7.0);
+  EXPECT_DOUBLE_EQ(s.min_value(), -2.0);
+}
+
+// --- Table ---
+
+TEST(Table, BuildsAndPrints) {
+  Table t("demo", {"a", "b"});
+  t.row().cell("x").cell(1.5, 1);
+  t.row().cell("y").cell(std::uint64_t{42});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t("csv", {"c1", "c2"});
+  t.row().cell("plain").cell("has,comma");
+  std::ostringstream oss;
+  t.write_csv(oss);
+  EXPECT_NE(oss.str().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(Table, RejectsMalformedUse) {
+  Table t("bad", {"only"});
+  EXPECT_THROW(t.cell("no row yet"), std::logic_error);
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("too many"), std::logic_error);
+  EXPECT_THROW(Table("empty", {}), std::invalid_argument);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t("bad", {"a", "b"});
+  t.row().cell("only one");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rsf::telemetry
