@@ -1,17 +1,15 @@
 // Shared helpers for the experiment benches. Each bench binary
 // regenerates one figure/table of the paper (see DESIGN.md §4): it
-// builds a rack, drives a workload, and prints the series as a table.
+// builds a rack through the FabricRuntime facade, drives a workload,
+// and prints the series as a table.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
-#include "core/controller.hpp"
-#include "fabric/builders.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/log.hpp"
 #include "telemetry/table.hpp"
-#include "workload/generator.hpp"
-#include "workload/mapreduce.hpp"
 
 namespace rsf::bench {
 
@@ -51,13 +49,6 @@ inline RunMetrics collect(const workload::FlowGenerator& gen, const fabric::Netw
   m.failed = net.flows_failed();
   for (const auto& r : gen.results()) m.retransmits += r.retransmits;
   return m;
-}
-
-inline core::CrcController make_crc(rsf::sim::Simulator& sim, fabric::Rack& rack,
-                                    core::CrcConfig cfg = {}) {
-  return core::CrcController(&sim, rack.plant.get(), rack.engine.get(),
-                             rack.topology.get(), rack.router.get(), rack.network.get(),
-                             cfg);
 }
 
 }  // namespace rsf::bench

@@ -26,42 +26,39 @@ struct Row {
 };
 
 Row run_case(int side, bool use_crc, bool to_torus, phy::DataSize bytes_per_pair) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = side;
-  params.height = side;
-  params.routing =
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = side;
+  cfg.rack.height = side;
+  cfg.rack.routing =
       use_crc ? fabric::RoutingPolicy::kMinCost : fabric::RoutingPolicy::kDimensionOrder;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
+  cfg.enable_crc = use_crc;
+  cfg.crc.epoch = 100_us;
+  runtime::FabricRuntime rt(cfg);
 
-  std::optional<core::CrcController> crc;
   if (use_crc) {
-    core::CrcConfig cfg;
-    cfg.epoch = 100_us;
-    crc.emplace(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                rack.router.get(), rack.network.get(), cfg);
-    crc->start();
+    rt.start();
     if (to_torus) {
       bool done = false;
-      crc->request_grid_to_torus([&](const core::TopologyPlanner::Report&) { done = true; });
-      sim.run_until();
+      rt.controller().request_grid_to_torus(
+          [&](const core::TopologyPlanner::Report&) { done = true; });
+      rt.run_until();
       if (!done) return {};
     }
   }
 
-  workload::ShuffleConfig cfg;
+  workload::ShuffleConfig shuffle_cfg;
   for (int x = 0; x < side; ++x) {
-    cfg.mappers.push_back(rack.node_at(x, 0));
-    cfg.reducers.push_back(rack.node_at(x, side - 1));
+    shuffle_cfg.mappers.push_back(rt.node_at(x, 0));
+    shuffle_cfg.reducers.push_back(rt.node_at(x, side - 1));
   }
-  cfg.bytes_per_pair = bytes_per_pair;
-  cfg.start = sim.now();
-  workload::ShuffleJob job(&sim, rack.network.get(), cfg);
+  shuffle_cfg.bytes_per_pair = bytes_per_pair;
+  shuffle_cfg.start = rt.now();
+  auto& job = rt.add_shuffle(shuffle_cfg);
   std::optional<workload::ShuffleResult> result;
   job.run([&](const workload::ShuffleResult& r) { result = r; });
-  sim.run_until();
-  if (crc) crc->stop();
-  sim.run_until();
+  rt.run_until();
+  rt.stop();
+  rt.run_until();
 
   Row row;
   if (result) {

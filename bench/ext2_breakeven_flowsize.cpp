@@ -43,6 +43,26 @@ void part_a() {
               "and lower when the packet fabric is more congested.\n");
 }
 
+/// A 6-node storage chain with competing bulk traffic (the load the
+/// scheduler must beat).
+runtime::RuntimeConfig chain_config() {
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 6;
+  cfg.rack.height = 1;
+  return cfg;
+}
+
+void add_background_load(runtime::FabricRuntime& rt) {
+  for (fabric::FlowId i = 0; i < 3; ++i) {
+    fabric::FlowSpec bg;
+    bg.id = 900 + i;
+    bg.src = 0;
+    bg.dst = 5;
+    bg.size = DataSize::megabytes(60);
+    rt.network().start_flow(bg, nullptr);
+  }
+}
+
 struct Measured {
   core::ScheduleDecision decision;
   double measured_ms = 0;
@@ -50,23 +70,10 @@ struct Measured {
 };
 
 Measured run_flow(DataSize size) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 6;
-  params.height = 1;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-  core::CircuitScheduler sched(&sim, rack.engine.get(), rack.plant.get(),
-                               rack.topology.get(), rack.router.get(), rack.network.get());
-  // Competing bulk traffic keeps the chain loaded.
-  for (fabric::FlowId i = 0; i < 3; ++i) {
-    fabric::FlowSpec bg;
-    bg.id = 900 + i;
-    bg.src = 0;
-    bg.dst = 5;
-    bg.size = DataSize::megabytes(60);
-    rack.network->start_flow(bg, nullptr);
-  }
-  sim.run_until(500_us);
+  runtime::FabricRuntime rt(chain_config());
+  core::CircuitScheduler& sched = rt.controller().circuits();
+  add_background_load(rt);
+  rt.run_until(500_us);
 
   fabric::FlowSpec spec;
   spec.id = 1;
@@ -79,7 +86,7 @@ Measured run_flow(DataSize size) {
     out.measured_ms = r.completion_time().ms();
     out.used_circuit = circuit;
   });
-  sim.run_until();
+  rt.run_until();
   return out;
 }
 
@@ -111,14 +118,8 @@ void part_c() {
                          {"flow_size", "measured_est_ms(load-aware)", "nominal_est_ms",
                           "load-aware_choice", "nominal_choice"});
   for (double mb : {4.0, 16.0, 64.0}) {
-    sim::Simulator sim;
-    fabric::RackParams params;
-    params.width = 6;
-    params.height = 1;
-    fabric::Rack rack = fabric::build_grid(&sim, params);
-    core::CircuitScheduler sched(&sim, rack.engine.get(), rack.plant.get(),
-                                 rack.topology.get(), rack.router.get(),
-                                 rack.network.get());
+    runtime::FabricRuntime rt(chain_config());
+    core::CircuitScheduler& sched = rt.controller().circuits();
     fabric::FlowSpec spec;
     spec.id = 1;
     spec.src = 0;
@@ -126,15 +127,8 @@ void part_c() {
     spec.size = DataSize::megabytes(mb);
     // Nominal = decide before any load exists (utilisation 0).
     const auto nominal = sched.decide(spec);
-    for (fabric::FlowId i = 0; i < 3; ++i) {
-      fabric::FlowSpec bg;
-      bg.id = 900 + i;
-      bg.src = 0;
-      bg.dst = 5;
-      bg.size = DataSize::megabytes(60);
-      rack.network->start_flow(bg, nullptr);
-    }
-    sim.run_until(500_us);
+    add_background_load(rt);
+    rt.run_until(500_us);
     const auto aware = sched.decide(spec);
     table.row()
         .cell(DataSize::megabytes(mb).to_string())

@@ -26,39 +26,44 @@ struct CapResult {
   std::uint64_t failed = 0;
 };
 
-CapResult run_cap(double cap_fraction) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 6;
-  params.height = 6;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-  const double uncapped = rack.total_power_watts();
+runtime::RuntimeConfig rack_config() {
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 6;
+  cfg.rack.height = 6;
+  return cfg;
+}
 
-  core::CrcConfig cfg;
-  cfg.epoch = 100_us;
-  cfg.enable_power_manager = true;
-  cfg.power.cap_watts = cap_fraction >= 1.0 ? 1e18 : uncapped * cap_fraction;
-  cfg.power.max_ops_per_epoch = 4;
-  core::CrcController crc = rsf::bench::make_crc(sim, rack, cfg);
-  crc.start();
+CapResult run_cap(double cap_fraction) {
+  // Uncapped draw of the identical rack (no controller) sets the cap.
+  runtime::RuntimeConfig probe = rack_config();
+  probe.enable_crc = false;
+  const double uncapped = runtime::FabricRuntime(probe).total_power_watts();
+
+  runtime::RuntimeConfig cfg = rack_config();
+  cfg.crc.epoch = 100_us;
+  cfg.crc.enable_power_manager = true;
+  cfg.crc.power.cap_watts = cap_fraction >= 1.0 ? 1e18 : uncapped * cap_fraction;
+  cfg.crc.power.max_ops_per_epoch = 4;
+  runtime::FabricRuntime rt(cfg);
+  rt.start();
 
   workload::GeneratorConfig gen_cfg;
   gen_cfg.mean_interarrival = 60_us;
   gen_cfg.horizon = 8_ms;
   gen_cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(64));
-  workload::FlowGenerator gen(&sim, rack.network.get(),
-                              workload::TrafficMatrix::uniform(36), gen_cfg);
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(36), gen_cfg);
   gen.start();
-  sim.run_until(20_ms);
-  crc.stop();
-  sim.run_until();
+  rt.run_until(20_ms);
+  rt.stop();
+  rt.run_until();
 
+  auto& crc = rt.controller();
   CapResult r;
-  r.cap_w = cfg.power.cap_watts >= 1e18 ? uncapped : cfg.power.cap_watts;
+  r.cap_w = cfg.crc.power.cap_watts >= 1e18 ? uncapped : cfg.crc.power.cap_watts;
   // Time-weighted power over the steady half of the run.
   r.achieved_w = crc.power_series().time_weighted_mean(8_ms, 20_ms, uncapped);
   r.lanes_shed = crc.power_manager().sheds() - crc.power_manager().restores();
-  const auto m = rsf::bench::collect(gen, *rack.network);
+  const auto m = rsf::bench::collect(gen, rt.network());
   r.goodput_gbps = m.goodput_gbps;
   r.p99_us = m.fct_p99_us;
   r.failed = m.failed;

@@ -27,50 +27,47 @@ struct PolicyResult {
 };
 
 PolicyResult run_policy(bool adaptive, FecScheme static_scheme) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 3;
-  params.height = 3;
-  params.fec = static_scheme;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 3;
+  cfg.rack.height = 3;
+  cfg.rack.fec = static_scheme;
+  cfg.crc.epoch = 200_us;
+  cfg.crc.enable_adaptive_fec = adaptive;
+  runtime::FabricRuntime rt(cfg);
+  auto& sim = rt.sim();
 
   std::vector<std::unique_ptr<phy::BerDriver>> drivers;
-  for (std::size_t c = 0; c < rack.plant->cable_count(); ++c) {
+  for (std::size_t c = 0; c < rt.plant().cable_count(); ++c) {
     drivers.push_back(std::make_unique<phy::BerDriver>(
-        &sim, rack.plant.get(), static_cast<phy::CableId>(c),
+        &sim, &rt.plant(), static_cast<phy::CableId>(c),
         phy::ramp_ber(1e-12, 1e-4, 2_ms, 10_ms), 100_us));
     drivers.back()->start();
   }
 
-  core::CrcConfig cfg;
-  cfg.epoch = 200_us;
-  cfg.enable_adaptive_fec = adaptive;
-  core::CrcController crc = rsf::bench::make_crc(sim, rack, cfg);
-  crc.start();
+  rt.start();
 
   workload::GeneratorConfig gen_cfg;
   gen_cfg.mean_interarrival = 100_us;
   gen_cfg.horizon = 15_ms;
   gen_cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(64));
-  workload::FlowGenerator gen(&sim, rack.network.get(),
-                              workload::TrafficMatrix::uniform(9), gen_cfg);
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(9), gen_cfg);
   gen.start();
 
   // Sample clean-channel latency before the ramp starts.
   PolicyResult r;
-  sim.run_until(2_ms);
-  r.clean_pkt_us = rack.network->packet_latency().mean() * 1e-6;
-  sim.run_until(40_ms);
-  crc.stop();
+  rt.run_until(2_ms);
+  r.clean_pkt_us = rt.network().packet_latency().mean() * 1e-6;
+  rt.run_until(40_ms);
+  rt.stop();
   for (auto& d : drivers) d->stop();
-  sim.run_until();
+  rt.run_until();
 
   r.goodput_gbps = gen.goodput_gbps();
   for (const auto& res : gen.results()) r.retransmits += res.retransmits;
-  r.corrupted = rack.network->counters().get("net.frames_corrupted");
+  r.corrupted = rt.network().counters().get("net.frames_corrupted");
   std::map<std::string, int> modes;
-  for (phy::LinkId id : rack.plant->link_ids()) {
-    ++modes[std::string(phy::to_string(rack.plant->link(id).fec().scheme))];
+  for (phy::LinkId id : rt.plant().link_ids()) {
+    ++modes[std::string(phy::to_string(rt.plant().link(id).fec().scheme))];
   }
   for (const auto& [name, count] : modes) {
     if (!r.final_modes.empty()) r.final_modes += ", ";

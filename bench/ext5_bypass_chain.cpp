@@ -19,12 +19,12 @@ using phy::DataSize;
 using phy::LinkId;
 using sim::SimTime;
 
-double probe_us(sim::Simulator& sim, fabric::Rack& rack, phy::NodeId dst) {
+double probe_us(runtime::FabricRuntime& rt, phy::NodeId dst) {
   double out = -1;
-  rack.network->send_probe(0, dst, DataSize::bytes(1024), [&](SimTime lat, int, bool ok) {
+  rt.network().send_probe(0, dst, DataSize::bytes(1024), [&](SimTime lat, int, bool ok) {
     if (ok) out = lat.us();
   });
-  sim.run_until();
+  rt.run_until();
   return out;
 }
 
@@ -40,33 +40,35 @@ int main() {
 
   for (int k = 1; k <= 15; k += (k < 4 ? 1 : 2)) {
     const int nodes = k + 2;
-    sim::Simulator sim;
-    fabric::RackParams params;
-    fabric::Rack rack = fabric::build_chain(&sim, nodes, params);
+    runtime::RuntimeConfig cfg;
+    cfg.shape = runtime::RackShape::kChain;
+    cfg.nodes = nodes;
+    cfg.enable_crc = false;
+    runtime::FabricRuntime rt(cfg);
     const auto dst = static_cast<phy::NodeId>(nodes - 1);
 
-    const double switched = probe_us(sim, rack, dst);
+    const double switched = probe_us(rt, dst);
 
     // Build the bypass chain from spare lanes (split each hop link).
     std::vector<LinkId> path;
     for (int i = 0; i + 1 < nodes; ++i) {
-      path.push_back(*rack.topology->link_between(static_cast<phy::NodeId>(i),
-                                                  static_cast<phy::NodeId>(i + 1)));
+      path.push_back(*rt.topology().link_between(static_cast<phy::NodeId>(i),
+                                                 static_cast<phy::NodeId>(i + 1)));
     }
     std::vector<LinkId> spares;
-    core::split_many(rack.engine.get(), path, 1, [&](auto outs) {
+    core::split_many(&rt.engine(), path, 1, [&](auto outs) {
       for (auto& o : outs) {
         if (o) spares.push_back(o->spare);
       }
     });
-    sim.run_until();
+    rt.run_until();
     std::optional<LinkId> circuit;
-    core::chain_bypass(rack.engine.get(), spares,
+    core::chain_bypass(&rt.engine(), spares,
                        [&](std::optional<LinkId> l) { circuit = l; });
-    sim.run_until();
+    rt.run_until();
     if (!circuit) continue;
 
-    const double bypass = probe_us(sim, rack, dst);
+    const double bypass = probe_us(rt, dst);
     table.row()
         .cell(k)
         .cell(switched, 3)

@@ -26,36 +26,29 @@ struct Mode {
 };
 
 rsf::bench::RunMetrics run_mode(const Mode& mode) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 6;
-  params.height = 6;
-  params.routing = mode.policy;
-  fabric::Rack rack = fabric::build_torus(&sim, params);
-
-  std::optional<core::CrcController> crc;
-  if (mode.crc) {
-    core::CrcConfig cfg;
-    cfg.epoch = 100_us;
-    cfg.weights = mode.weights;
-    crc.emplace(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                rack.router.get(), rack.network.get(), cfg);
-    crc->start();
-  }
+  runtime::RuntimeConfig cfg;
+  cfg.shape = runtime::RackShape::kTorus;
+  cfg.rack.width = 6;
+  cfg.rack.height = 6;
+  cfg.rack.routing = mode.policy;
+  cfg.enable_crc = mode.crc;
+  cfg.crc.epoch = 100_us;
+  cfg.crc.weights = mode.weights;
+  runtime::FabricRuntime rt(cfg);
+  rt.start();
 
   workload::GeneratorConfig gen_cfg;
   gen_cfg.mean_interarrival = 12_us;
   gen_cfg.horizon = 8_ms;
   gen_cfg.sizes = workload::SizeDistribution::heavy_tail(1.3, 4e3, 5e5);
   gen_cfg.seed = 99;
-  workload::FlowGenerator gen(
-      &sim, rack.network.get(),
+  auto& gen = rt.add_generator(
       workload::TrafficMatrix::hotspot(36, /*hot_node=*/14, /*hot_fraction=*/0.5), gen_cfg);
   gen.start();
-  sim.run_until(40_ms);
-  if (crc) crc->stop();
-  sim.run_until();
-  return rsf::bench::collect(gen, *rack.network);
+  rt.run_until(40_ms);
+  rt.stop();
+  rt.run_until();
+  return rsf::bench::collect(gen, rt.network());
 }
 
 }  // namespace

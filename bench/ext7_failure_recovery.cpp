@@ -27,62 +27,52 @@ struct Timeline {
 };
 
 Timeline run_mode(bool use_crc, bool healing) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 4;
-  params.height = 4;
-  params.lanes_per_cable = 4;  // dark spares available
-  params.lanes_per_link = 2;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-
-  std::optional<core::CrcController> crc;
-  if (use_crc) {
-    core::CrcConfig cfg;
-    cfg.epoch = 100_us;
-    cfg.enable_health_manager = healing;
-    crc.emplace(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                rack.router.get(), rack.network.get(), cfg);
-    crc->start();
-  }
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 4;
+  cfg.rack.height = 4;
+  cfg.rack.lanes_per_cable = 4;  // dark spares available
+  cfg.rack.lanes_per_link = 2;
+  cfg.enable_crc = use_crc;
+  cfg.crc.epoch = 100_us;
+  cfg.crc.enable_health_manager = healing;
+  runtime::FabricRuntime rt(cfg);
+  auto& sim = rt.sim();
+  rt.start();
 
   workload::GeneratorConfig gen_cfg;
   gen_cfg.mean_interarrival = 60_us;
   gen_cfg.horizon = 12_ms;
   gen_cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(32));
-  workload::FlowGenerator gen(&sim, rack.network.get(),
-                              workload::TrafficMatrix::uniform(16), gen_cfg);
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(16), gen_cfg);
   gen.start();
 
   // Kill a lane of the (0,0)-(1,0) link at t = 4 ms.
-  sim.schedule_at(4_ms, [&] {
-    const auto victim = rack.topology->link_between(0, 1);
+  sim.schedule_at(4_ms, [&rt] {
+    const auto victim = rt.topology().link_between(0, 1);
     if (victim) {
-      rack.plant->fail_lane(
-          phy::LaneRef{rack.plant->link(*victim).segments().front().cable, 0});
+      rt.plant().fail_lane(
+          phy::LaneRef{rt.plant().link(*victim).segments().front().cable, 0});
     }
   });
 
   Timeline tl;
   // Millisecond buckets of packet p99 (weak sampling loop).
-  auto last_hist = std::make_shared<telemetry::Histogram>();
-  std::function<void()> sample = [&sim, &rack, &tl, last_hist, &sample] {
-    const telemetry::Histogram now_hist = rack.network->packet_latency();
+  std::function<void()> sample = [&sim, &rt, &tl, &sample] {
     // Bucket p99 approximated from the cumulative histogram delta via
     // a fresh histogram would need full samples; report cumulative p99
     // trend instead (monotone under degradation, relaxes on recovery).
-    tl.p99_us_per_ms.push_back(now_hist.p99() * 1e-6);
-    *last_hist = now_hist;
+    tl.p99_us_per_ms.push_back(rt.network().packet_latency().p99() * 1e-6);
     if (sim.now() < 12_ms) sim.schedule_weak_after(1_ms, sample);
   };
   sim.schedule_weak_after(1_ms, sample);
 
   // Detect recovery: full-width ready link between 0 and 1 after the
   // failure instant.
-  std::function<void()> watch = [&sim, &rack, &tl, &watch] {
+  std::function<void()> watch = [&sim, &rt, &tl, &watch] {
     if (sim.now() > 4_ms && tl.recovery_ms < 0) {
-      const auto l = rack.topology->link_between(0, 1);
-      if (l && rack.plant->link(*l).lane_count() == 2 && rack.plant->link(*l).ready() &&
-          rack.plant->failed_lanes_of_link(*l).empty()) {
+      const auto l = rt.topology().link_between(0, 1);
+      if (l && rt.plant().link(*l).lane_count() == 2 && rt.plant().link(*l).ready() &&
+          rt.plant().failed_lanes_of_link(*l).empty()) {
         tl.recovery_ms = sim.now().ms();
       }
     }
@@ -90,12 +80,12 @@ Timeline run_mode(bool use_crc, bool healing) {
   };
   sim.schedule_weak_after(100_us, watch);
 
-  sim.run_until(15_ms);
-  if (crc) crc->stop();
-  sim.run_until();
+  rt.run_until(15_ms);
+  rt.stop();
+  rt.run_until();
 
-  tl.failed_flows = rack.network->flows_failed();
-  tl.reroute_waits = rack.network->counters().get("net.reroute_waits");
+  tl.failed_flows = rt.network().flows_failed();
+  tl.reroute_waits = rt.network().counters().get("net.reroute_waits");
   return tl;
 }
 

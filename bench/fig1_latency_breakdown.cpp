@@ -23,11 +23,14 @@ using sim::SimTime;
 
 void run(bool cut_through) {
   const int kMaxNodes = 21;  // 0..20 -> up to 40 m
-  fabric::RackParams params;
-  params.hop_meters = 2.0;
-  params.net_config.switch_params.cut_through = cut_through;
-  sim::Simulator sim;
-  fabric::Rack rack = fabric::build_chain(&sim, kMaxNodes, params);
+  runtime::RuntimeConfig cfg;
+  cfg.shape = runtime::RackShape::kChain;
+  cfg.nodes = kMaxNodes;
+  cfg.rack.hop_meters = 2.0;
+  cfg.rack.net_config.switch_params.cut_through = cut_through;
+  cfg.enable_crc = false;
+  runtime::FabricRuntime rt(cfg);
+  const auto& params = rt.rack_params();
 
   const DataSize probe = DataSize::bytes(1024);
   telemetry::Table table(
@@ -38,11 +41,11 @@ void run(bool cut_through) {
 
   for (int k = 1; k < kMaxNodes; ++k) {
     double measured_ns = 0;
-    rack.network->send_probe(0, static_cast<phy::NodeId>(k), probe,
-                             [&](SimTime lat, int, bool ok) {
-                               if (ok) measured_ns = lat.ns();
-                             });
-    sim.run_until();
+    rt.network().send_probe(0, static_cast<phy::NodeId>(k), probe,
+                            [&](SimTime lat, int, bool ok) {
+                              if (ok) measured_ns = lat.ns();
+                            });
+    rt.run_until();
 
     const double distance_m = 2.0 * k;
     const double media_ns = phy::propagation_delay(params.medium, distance_m).ns();
@@ -50,8 +53,7 @@ void run(bool cut_through) {
     // also pay their pipeline.
     const auto& sp = params.net_config.switch_params;
     const double switching_ns = sp.switch_latency.ns() * (k - 1) + sp.nic_latency.ns() * 2;
-    const phy::LogicalLink& l =
-        rack.plant->link(*rack.topology->link_between(0, 1));
+    const phy::LogicalLink& l = rt.plant().link(*rt.topology().link_between(0, 1));
     // Cut-through pays serialization once plus a header per extra hop;
     // store-and-forward pays it on every hop.
     const double ser_once = l.serialization_delay(probe).ns() + l.fec().latency.ns();

@@ -30,74 +30,68 @@ struct PhaseMetrics {
   int max_lanes = 0;
 };
 
-PhaseMetrics snapshot_phase(sim::Simulator& sim, fabric::Rack& rack, SimTime window) {
+PhaseMetrics snapshot_phase(runtime::FabricRuntime& rt, SimTime window) {
   // Run a measurement window of uniform traffic and collect stats.
   workload::GeneratorConfig cfg;
   cfg.mean_interarrival = 30_us;
-  cfg.horizon = sim.now() + window;
-  cfg.seed = 1234 + static_cast<std::uint64_t>(sim.now().ps());
-  cfg.first_flow_id = 1 + static_cast<fabric::FlowId>(sim.now().ps());
+  cfg.horizon = rt.now() + window;
+  cfg.seed = 1234 + static_cast<std::uint64_t>(rt.now().ps());
+  cfg.first_flow_id = 1 + static_cast<fabric::FlowId>(rt.now().ps());
   // Small flows: the measurement probes hop-count latency, which is
   // what the conversion buys (bandwidth is reorganised, not added).
   cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(2));
-  workload::FlowGenerator gen(&sim, rack.network.get(),
-                              workload::TrafficMatrix::uniform(rack.topology->node_count()),
-                              cfg);
-  telemetry::Histogram pkt_before = rack.network->packet_latency();
-  telemetry::Histogram hops_before = rack.network->hop_counts();
-  gen.start(sim.now());
-  sim.run_until(cfg.horizon + 5_ms);
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(rt.node_count()), cfg);
+  auto& net = rt.network();
+  telemetry::Histogram pkt_before = net.packet_latency();
+  telemetry::Histogram hops_before = net.hop_counts();
+  gen.start(rt.now());
+  rt.run_until(cfg.horizon + 5_ms);
 
   PhaseMetrics m;
-  // Diff the histograms by subtraction of counts is not supported;
-  // approximate with the generator's own view plus fresh probes.
-  const auto fct = gen.completion_histogram();
-  (void)fct;
-  telemetry::Histogram pkt_now = rack.network->packet_latency();
+  telemetry::Histogram pkt_now = net.packet_latency();
   m.mean_pkt_us = (pkt_now.mean() * pkt_now.count() - pkt_before.mean() * pkt_before.count()) /
                   std::max<double>(1.0, pkt_now.count() - pkt_before.count()) * 1e-6;
   m.p99_pkt_us = pkt_now.p99() * 1e-6;
-  telemetry::Histogram hops_now = rack.network->hop_counts();
+  telemetry::Histogram hops_now = net.hop_counts();
   m.mean_hops =
       (hops_now.mean() * hops_now.count() - hops_before.mean() * hops_before.count()) /
       std::max<double>(1.0, hops_now.count() - hops_before.count());
-  m.corner_hops = rack.router->hop_count(
-      rack.node_at(0, 0), rack.node_at(rack.params.width - 1, rack.params.height - 1));
-  m.power_w = rack.total_power_watts();
-  m.links = rack.plant->link_count();
-  for (phy::LinkId id : rack.plant->link_ids()) {
-    m.max_lanes = std::max(m.max_lanes, rack.plant->link(id).lane_count());
+  const auto& params = rt.rack_params();
+  m.corner_hops = rt.router().hop_count(rt.node_at(0, 0),
+                                        rt.node_at(params.width - 1, params.height - 1));
+  m.power_w = rt.total_power_watts();
+  m.links = rt.plant().link_count();
+  for (phy::LinkId id : rt.plant().link_ids()) {
+    m.max_lanes = std::max(m.max_lanes, rt.plant().link(id).lane_count());
   }
   return m;
 }
 
 void part_a() {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 8;
-  params.height = 8;
-  params.lanes_per_cable = 2;
-  params.lanes_per_link = 2;  // "grid topology of two lanes per link"
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-  core::CrcController crc = rsf::bench::make_crc(sim, rack);
-  crc.start();
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 8;
+  cfg.rack.height = 8;
+  cfg.rack.lanes_per_cable = 2;
+  cfg.rack.lanes_per_link = 2;  // "grid topology of two lanes per link"
+  runtime::FabricRuntime rt(cfg);
+  rt.start();
 
-  const PhaseMetrics before = snapshot_phase(sim, rack, 2_ms);
+  const PhaseMetrics before = snapshot_phase(rt, 2_ms);
 
   // The internal indication: request the move (Part B shows the
   // autonomous trigger) and time its completion.
-  const SimTime t0 = sim.now();
+  const SimTime t0 = rt.now();
   SimTime t_done;
   core::TopologyPlanner::Report report;
-  crc.request_grid_to_torus([&](const core::TopologyPlanner::Report& r) {
+  rt.controller().request_grid_to_torus([&](const core::TopologyPlanner::Report& r) {
     report = r;
-    t_done = sim.now();
+    t_done = rt.now();
   });
-  sim.run_until();
+  rt.run_until();
 
-  const PhaseMetrics after = snapshot_phase(sim, rack, 2_ms);
-  crc.stop();
-  sim.run_until();
+  const PhaseMetrics after = snapshot_phase(rt, 2_ms);
+  rt.stop();
+  rt.run_until();
 
   telemetry::Table table("Figure 2 — grid (2 lanes/link) -> torus (1 lane/link), 8x8 rack",
                          {"phase", "mean_pkt_us", "p99_pkt_us", "mean_hops", "corner_hops",
@@ -132,41 +126,38 @@ void part_b() {
                          {"epoch_us", "ring_circulation_us", "trigger_at_us",
                           "torus_done_us", "reaction_us"});
   for (double epoch_us : {50.0, 100.0, 250.0, 500.0, 1000.0}) {
-    sim::Simulator sim;
-    fabric::RackParams params;
-    params.width = 6;
-    params.height = 6;
-    fabric::Rack rack = fabric::build_grid(&sim, params);
-    core::CrcConfig cfg;
-    cfg.epoch = sim::SimTime::microseconds(epoch_us);
-    cfg.enable_auto_torus = true;
-    cfg.torus_util_threshold = 0.25;
-    cfg.torus_trigger_epochs = 2;
-    core::CrcController crc = rsf::bench::make_crc(sim, rack, cfg);
-    crc.start();
+    runtime::RuntimeConfig cfg;
+    cfg.rack.width = 6;
+    cfg.rack.height = 6;
+    cfg.crc.epoch = sim::SimTime::microseconds(epoch_us);
+    cfg.crc.enable_auto_torus = true;
+    cfg.crc.torus_util_threshold = 0.25;
+    cfg.crc.torus_trigger_epochs = 2;
+    runtime::FabricRuntime rt(cfg);
+    auto& sim = rt.sim();
+    rt.start();
 
     // Sudden sustained max-distance load from t = 0.
     workload::GeneratorConfig gen_cfg;
     gen_cfg.mean_interarrival = 20_us;
     gen_cfg.horizon = 5_ms;
     gen_cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(64));
-    workload::FlowGenerator gen(&sim, rack.network.get(),
-                                workload::TrafficMatrix::opposite(36), gen_cfg);
+    auto& gen = rt.add_generator(workload::TrafficMatrix::opposite(36), gen_cfg);
     gen.start();
 
     // Watch for the wrap links appearing (weak: observation only).
     SimTime done = SimTime::infinity();
     std::function<void()> poll = [&] {
-      if (rack.plant->total_bypass_joints() >= 8 && done == SimTime::infinity()) {
+      if (rt.plant().total_bypass_joints() >= 8 && done == SimTime::infinity()) {
         done = sim.now();
         return;
       }
       if (sim.now() < 10_ms) sim.schedule_weak_after(50_us, poll);
     };
     sim.schedule_weak_after(50_us, poll);
-    sim.run_until(10_ms);
-    crc.stop();
-    sim.run_until();
+    rt.run_until(10_ms);
+    rt.stop();
+    rt.run_until();
 
     const auto ring_us =
         (sim::SimTime::nanoseconds(300) * std::int64_t{36}).us();

@@ -5,8 +5,8 @@
 // pushes millions of events through these paths).
 #include <benchmark/benchmark.h>
 
-#include "fabric/builders.hpp"
 #include "phy/fec.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/histogram.hpp"
@@ -70,37 +70,43 @@ void BM_FecFrameLoss(benchmark::State& state) {
 BENCHMARK(BM_FecFrameLoss);
 
 void BM_RouterDijkstra(benchmark::State& state) {
-  sim::Simulator sim;
-  fabric::RackParams p;
-  p.width = static_cast<int>(state.range(0));
-  p.height = static_cast<int>(state.range(0));
-  fabric::Rack rack = fabric::build_grid(&sim, p);
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = static_cast<int>(state.range(0));
+  cfg.rack.height = static_cast<int>(state.range(0));
+  cfg.enable_crc = false;
+  runtime::FabricRuntime rt(cfg);
   phy::NodeId dst = 0;
   for (auto _ : state) {
-    rack.router->bump_prices();  // force recompute
-    benchmark::DoNotOptimize(rack.router->next_hop(
-        static_cast<phy::NodeId>(rack.topology->node_count() - 1), dst));
-    dst = (dst + 1) % rack.topology->node_count();
+    rt.router().bump_prices();  // force recompute
+    benchmark::DoNotOptimize(
+        rt.router().next_hop(static_cast<phy::NodeId>(rt.node_count() - 1), dst));
+    dst = (dst + 1) % rt.node_count();
   }
 }
 BENCHMARK(BM_RouterDijkstra)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_PacketTransportOneFlow(benchmark::State& state) {
+  // The end-to-end hot path: one 256 KB flow corner to corner on a 4x4
+  // grid. items/s is simulator events per second — the figure the
+  // dense-id refactor targets.
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    sim::Simulator sim;
-    fabric::RackParams p;
-    p.width = 4;
-    p.height = 4;
-    fabric::Rack rack = fabric::build_grid(&sim, p);
+    runtime::RuntimeConfig cfg;
+    cfg.rack.width = 4;
+    cfg.rack.height = 4;
+    cfg.enable_crc = false;
+    runtime::FabricRuntime rt(cfg);
     fabric::FlowSpec spec;
     spec.id = 1;
     spec.src = 0;
     spec.dst = 15;
     spec.size = phy::DataSize::kilobytes(256);
-    rack.network->start_flow(spec, nullptr);
-    sim.run_until();
-    benchmark::DoNotOptimize(rack.network->flows_completed());
+    rt.network().start_flow(spec, nullptr);
+    rt.run_until();
+    benchmark::DoNotOptimize(rt.network().flows_completed());
+    events += rt.sim().executed();
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_PacketTransportOneFlow);
 

@@ -7,43 +7,39 @@
 // loss requires. This example prints each mode change as it happens.
 #include <cstdio>
 
-#include "core/controller.hpp"
-#include "fabric/builders.hpp"
 #include "phy/ber_profile.hpp"
-#include "workload/generator.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace rsf;
 using namespace rsf::sim::literals;
 
 int main() {
   sim::LogConfig::set_level(sim::LogLevel::kOff);
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 3;
-  params.height = 3;
-  params.fec = phy::FecScheme::kNone;  // start with the cheapest mode
-  fabric::Rack rack = fabric::build_grid(&sim, params);
+
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 3;
+  cfg.rack.height = 3;
+  cfg.rack.fec = phy::FecScheme::kNone;  // start with the cheapest mode
+  cfg.crc.epoch = 200_us;
+  cfg.crc.enable_adaptive_fec = true;
+  runtime::FabricRuntime rt(cfg);
+  auto& sim = rt.sim();
 
   // Degrade the cable between nodes 0 and 1.
-  const phy::LinkId victim = *rack.topology->link_between(0, 1);
-  const phy::CableId cable = rack.plant->link(victim).segments().front().cable;
-  phy::BerDriver ber(&sim, rack.plant.get(), cable,
-                     phy::ramp_ber(1e-12, 1e-4, 1_ms, 9_ms), 100_us);
+  const phy::LinkId victim = *rt.topology().link_between(0, 1);
+  const phy::CableId cable = rt.plant().link(victim).segments().front().cable;
+  phy::BerDriver ber(&sim, &rt.plant(), cable, phy::ramp_ber(1e-12, 1e-4, 1_ms, 9_ms),
+                     100_us);
   ber.start();
 
-  core::CrcConfig cfg;
-  cfg.epoch = 200_us;
-  cfg.enable_adaptive_fec = true;
-  core::CrcController crc(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                          rack.router.get(), rack.network.get(), cfg);
-  crc.start();
+  rt.start();
 
   // Watch the victim link's mode.
   std::printf("time_ms  ber        fec_mode   post_fec_ber\n");
   phy::FecScheme last = phy::FecScheme::kNone;
   std::function<void()> watch = [&] {
-    if (rack.plant->has_link(victim)) {
-      const auto& l = rack.plant->link(victim);
+    if (rt.plant().has_link(victim)) {
+      const auto& l = rt.plant().link(victim);
       if (l.fec().scheme != last || sim.now() == sim::SimTime::zero()) {
         last = l.fec().scheme;
         std::printf("%7.2f  %.2e  %-9s  %.2e\n", sim.now().ms(), l.worst_pre_fec_ber(),
@@ -59,20 +55,20 @@ int main() {
   gen_cfg.mean_interarrival = 200_us;
   gen_cfg.horizon = 12_ms;
   gen_cfg.sizes = workload::SizeDistribution::fixed_size(phy::DataSize::kilobytes(64));
-  workload::FlowGenerator gen(&sim, rack.network.get(),
-                              workload::TrafficMatrix::uniform(9), gen_cfg);
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(9), gen_cfg);
   gen.start();
 
-  sim.run_until(15_ms);
+  rt.run_until(15_ms);
   ber.stop();
-  crc.stop();
-  sim.run_until();
+  rt.stop();
+  rt.run_until();
 
   std::uint64_t retx = 0;
   for (const auto& r : gen.results()) retx += r.retransmits;
   std::printf("\n%llu flows, %llu retransmits, goodput %.2f Gbps, %llu FEC changes\n",
               static_cast<unsigned long long>(gen.flows_generated()),
               static_cast<unsigned long long>(retx), gen.goodput_gbps(),
-              static_cast<unsigned long long>(crc.fec_adapter().changes_submitted()));
+              static_cast<unsigned long long>(
+                  rt.controller().fec_adapter().changes_submitted()));
   return 0;
 }

@@ -8,22 +8,19 @@
 // for each flow and why (the break-even math).
 #include <cstdio>
 
-#include "core/scheduler.hpp"
-#include "fabric/builders.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace rsf;
 using namespace rsf::sim::literals;
 
 int main() {
   sim::LogConfig::set_level(sim::LogLevel::kOff);
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 8;
-  params.height = 1;  // a storage shelf: one long chain
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-  core::CircuitScheduler sched(&sim, rack.engine.get(), rack.plant.get(),
-                               rack.topology.get(), rack.router.get(),
-                               rack.network.get());
+
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 8;
+  cfg.rack.height = 1;  // a storage shelf: one long chain
+  runtime::FabricRuntime rt(cfg);
+  core::CircuitScheduler& sched = rt.controller().circuits();
 
   // Keep the packet fabric busy so circuits have something to beat.
   for (fabric::FlowId i = 0; i < 3; ++i) {
@@ -32,9 +29,9 @@ int main() {
     bg.src = 0;
     bg.dst = 7;
     bg.size = phy::DataSize::megabytes(80);
-    rack.network->start_flow(bg, nullptr);
+    rt.network().start_flow(bg, nullptr);
   }
-  sim.run_until(500_us);
+  rt.run_until(500_us);
 
   std::printf("%-10s %-14s %-14s %-12s %-8s %s\n", "size", "est_packet", "est_circuit",
               "break_even", "choice", "measured");
@@ -54,7 +51,7 @@ int main() {
                   d.break_even ? d.break_even->to_string().c_str() : "-",
                   circuit ? "circuit" : "packet", r.completion_time().to_string().c_str());
     });
-    sim.run_until();  // one at a time so the printout reads in order
+    rt.run_until();  // one at a time so the printout reads in order
   }
 
   std::printf("\ncircuits built %llu, circuit flows %llu, packet flows %llu\n",
@@ -62,7 +59,7 @@ int main() {
               static_cast<unsigned long long>(sched.circuit_flows()),
               static_cast<unsigned long long>(sched.packet_flows()));
   std::printf("fabric restored: %d bypass joints, plant %s\n",
-              rack.plant->total_bypass_joints(),
-              rack.plant->validate().empty() ? "valid" : "INVALID");
+              rt.plant().total_bypass_joints(),
+              rt.plant().validate().empty() ? "valid" : "INVALID");
   return 0;
 }

@@ -8,28 +8,27 @@
 #include <cstdio>
 #include <optional>
 
-#include "core/controller.hpp"
-#include "fabric/builders.hpp"
-#include "workload/mapreduce.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace rsf;
 using namespace rsf::sim::literals;
 
 namespace {
 
-workload::ShuffleResult run_shuffle(sim::Simulator& sim, fabric::Rack& rack) {
+workload::ShuffleResult run_shuffle(runtime::FabricRuntime& rt) {
   workload::ShuffleConfig cfg;
-  for (int x = 0; x < rack.params.width; ++x) {
-    cfg.mappers.push_back(rack.node_at(x, 0));
-    cfg.reducers.push_back(rack.node_at(x, rack.params.height - 1));
+  const auto& p = rt.rack_params();
+  for (int x = 0; x < p.width; ++x) {
+    cfg.mappers.push_back(rt.node_at(x, 0));
+    cfg.reducers.push_back(rt.node_at(x, p.height - 1));
   }
   cfg.bytes_per_pair = phy::DataSize::kilobytes(256);
-  cfg.start = sim.now();
-  cfg.first_flow_id = 1'000'000 + static_cast<fabric::FlowId>(sim.now().ps());
-  workload::ShuffleJob job(&sim, rack.network.get(), cfg);
+  cfg.start = rt.now();
+  cfg.first_flow_id = 1'000'000 + static_cast<fabric::FlowId>(rt.now().ps());
+  auto& job = rt.add_shuffle(cfg);
   std::optional<workload::ShuffleResult> result;
   job.run([&](const workload::ShuffleResult& r) { result = r; });
-  sim.run_until();
+  rt.run_until();
   return *result;
 }
 
@@ -37,18 +36,16 @@ workload::ShuffleResult run_shuffle(sim::Simulator& sim, fabric::Rack& rack) {
 
 int main() {
   sim::LogConfig::set_level(sim::LogLevel::kOff);
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 6;
-  params.height = 6;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-  core::CrcController crc(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                          rack.router.get(), rack.network.get(), {});
-  crc.start();
+
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 6;
+  cfg.rack.height = 6;
+  runtime::FabricRuntime rt(cfg);
+  rt.start();
 
   std::printf("shuffle: 6 mappers (top row) x 6 reducers (bottom row), 256 KB/pair\n\n");
 
-  const auto on_grid = run_shuffle(sim, rack);
+  const auto on_grid = run_shuffle(rt);
   std::printf("grid  : job %s  median flow %s  slowest flow %s  straggler x%.2f\n",
               on_grid.job_completion.to_string().c_str(),
               on_grid.median_flow.to_string().c_str(),
@@ -57,18 +54,18 @@ int main() {
   // The Figure-2 move: split every 2-lane link, chain the spare lanes
   // into wraparound links -> torus at 1 lane per link.
   bool converted = false;
-  crc.request_grid_to_torus([&](const core::TopologyPlanner::Report& r) {
+  rt.controller().request_grid_to_torus([&](const core::TopologyPlanner::Report& r) {
     converted = r.failures == 0;
     std::printf("\ncrc   : closed %d rows + %d columns with %zu wrap links\n\n",
                 r.rows_closed, r.cols_closed, r.wrap_links.size());
   });
-  sim.run_until();
+  rt.run_until();
   if (!converted) {
     std::printf("conversion failed\n");
     return 1;
   }
 
-  const auto on_torus = run_shuffle(sim, rack);
+  const auto on_torus = run_shuffle(rt);
   std::printf("torus : job %s  median flow %s  slowest flow %s  straggler x%.2f\n",
               on_torus.job_completion.to_string().c_str(),
               on_torus.median_flow.to_string().c_str(),
@@ -77,7 +74,7 @@ int main() {
   std::printf("\nspeedup: x%.2f on the job barrier\n",
               static_cast<double>(on_grid.job_completion.ps()) /
                   static_cast<double>(on_torus.job_completion.ps()));
-  crc.stop();
-  sim.run_until();
+  rt.stop();
+  rt.run_until();
   return 0;
 }

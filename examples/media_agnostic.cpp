@@ -13,9 +13,8 @@
 // no code changes, just a different capability subset.
 #include <cstdio>
 
-#include "core/controller.hpp"
-#include "fabric/builders.hpp"
 #include "phy/ber_profile.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace rsf;
 using namespace rsf::sim::literals;
@@ -23,34 +22,30 @@ using namespace rsf::sim::literals;
 namespace {
 
 void run_fabric(const char* name, phy::Medium medium, plp::PlpCapabilities caps) {
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 4;
-  params.height = 4;
-  params.medium = medium;
-  params.plp_caps = caps;
-  params.fec = phy::FecScheme::kNone;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
-
-  core::CrcConfig cfg;
-  cfg.epoch = 100_us;
-  cfg.enable_adaptive_fec = true;
-  core::CrcController crc(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                          rack.router.get(), rack.network.get(), cfg);
-  crc.start();
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 4;
+  cfg.rack.height = 4;
+  cfg.rack.medium = medium;
+  cfg.rack.plp_caps = caps;
+  cfg.rack.fec = phy::FecScheme::kNone;
+  cfg.crc.epoch = 100_us;
+  cfg.crc.enable_adaptive_fec = true;
+  runtime::FabricRuntime rt(cfg);
+  rt.start();
 
   // Ask for the Figure-2 move: needs PLP #1 (split) and #2 (bypass).
   std::optional<core::TopologyPlanner::Report> report;
-  crc.request_grid_to_torus([&](const core::TopologyPlanner::Report& r) { report = r; });
-  sim.run_until(sim.now() + 5_ms);
+  rt.controller().request_grid_to_torus(
+      [&](const core::TopologyPlanner::Report& r) { report = r; });
+  rt.run_until(rt.now() + 5_ms);
 
   // Degrade a cable: needs PLP #4 (adaptive FEC) + #5 (stats).
-  const phy::LinkId victim = *rack.topology->link_between(0, 1);
-  const phy::CableId cable = rack.plant->link(victim).segments().front().cable;
-  rack.plant->set_cable_ber(cable, 1e-5);
-  sim.run_until(sim.now() + 2_ms);
-  crc.stop();
-  sim.run_until();
+  const phy::LinkId victim = *rt.topology().link_between(0, 1);
+  const phy::CableId cable = rt.plant().link(victim).segments().front().cable;
+  rt.plant().set_cable_ber(cable, 1e-5);
+  rt.run_until(rt.now() + 2_ms);
+  rt.stop();
+  rt.run_until();
 
   std::printf("%-28s medium=%s\n", name, std::string(phy::to_string(medium)).c_str());
   if (report) {
@@ -60,12 +55,12 @@ void run_fabric(const char* name, phy::Medium medium, plp::PlpCapabilities caps)
     std::printf("  grid->torus : still pending (should not happen)\n");
   }
   std::printf("  adaptive FEC: link 0-1 now %s (BER 1e-5)\n",
-              std::string(phy::to_string(rack.plant->link(
-                              *rack.topology->link_between(0, 1)).fec().scheme))
+              std::string(phy::to_string(
+                              rt.plant().link(*rt.topology().link_between(0, 1)).fec().scheme))
                   .c_str());
   std::printf("  PLP failures rejected by media: %llu bypass-join\n\n",
               static_cast<unsigned long long>(
-                  rack.engine->counters().get("plp.failed.bypass-join")));
+                  rt.engine().counters().get("plp.failed.bypass-join")));
 }
 
 }  // namespace

@@ -6,60 +6,60 @@
 // so you can watch the control loop settle.
 #include <cstdio>
 
-#include "core/controller.hpp"
-#include "fabric/builders.hpp"
-#include "workload/generator.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace rsf;
 using namespace rsf::sim::literals;
 
 int main() {
   sim::LogConfig::set_level(sim::LogLevel::kOff);
-  sim::Simulator sim;
-  fabric::RackParams params;
-  params.width = 6;
-  params.height = 6;
-  fabric::Rack rack = fabric::build_grid(&sim, params);
 
-  const double uncapped = rack.total_power_watts();
-  core::CrcConfig cfg;
-  cfg.epoch = 100_us;
-  cfg.enable_power_manager = true;
-  cfg.power.cap_watts = uncapped * 0.85;  // 15% cut
-  cfg.power.max_ops_per_epoch = 3;
-  core::CrcController crc(&sim, rack.plant.get(), rack.engine.get(), rack.topology.get(),
-                          rack.router.get(), rack.network.get(), cfg);
-  std::printf("rack power %.1f W, cap %.1f W (-15%%)\n\n", uncapped, cfg.power.cap_watts);
-  crc.start();
+  // Build without the controller first to read the uncapped draw, then
+  // the real run with the cap set 15% below it. Both racks are wired
+  // identically from the same config.
+  runtime::RuntimeConfig cfg;
+  cfg.rack.width = 6;
+  cfg.rack.height = 6;
+  cfg.enable_crc = false;
+  const double uncapped = runtime::FabricRuntime(cfg).total_power_watts();
+
+  cfg.enable_crc = true;
+  cfg.crc.epoch = 100_us;
+  cfg.crc.enable_power_manager = true;
+  cfg.crc.power.cap_watts = uncapped * 0.85;  // 15% cut
+  cfg.crc.power.max_ops_per_epoch = 3;
+  runtime::FabricRuntime rt(cfg);
+  std::printf("rack power %.1f W, cap %.1f W (-15%%)\n\n", uncapped,
+              cfg.crc.power.cap_watts);
+  rt.start();
 
   // Light background load while the manager sheds.
   workload::GeneratorConfig gen_cfg;
   gen_cfg.mean_interarrival = 150_us;
   gen_cfg.horizon = 10_ms;
   gen_cfg.sizes = workload::SizeDistribution::fixed_size(phy::DataSize::kilobytes(32));
-  workload::FlowGenerator gen(&sim, rack.network.get(),
-                              workload::TrafficMatrix::uniform(36), gen_cfg);
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(36), gen_cfg);
   gen.start();
-  sim.run_until(12_ms);
-  crc.stop();
-  sim.run_until();
+  rt.run_until(12_ms);
+  rt.stop();
+  rt.run_until();
 
   std::printf("time_ms  rack_power_w\n");
   sim::SimTime next_print = sim::SimTime::zero();
-  for (const auto& sample : crc.power_series().samples()) {
+  for (const auto& sample : rt.controller().power_series().samples()) {
     if (sample.time < next_print) continue;
     std::printf("%7.2f  %8.1f%s\n", sample.time.ms(), sample.value,
-                sample.value <= cfg.power.cap_watts ? "" : "  (over cap)");
+                sample.value <= cfg.crc.power.cap_watts ? "" : "  (over cap)");
     next_print = sample.time + 500_us;
   }
 
   std::printf("\nlanes shed: %llu, restored: %llu, final power %.1f W (cap %.1f W)\n",
-              static_cast<unsigned long long>(crc.power_manager().sheds()),
-              static_cast<unsigned long long>(crc.power_manager().restores()),
-              rack.total_power_watts(), cfg.power.cap_watts);
+              static_cast<unsigned long long>(rt.controller().power_manager().sheds()),
+              static_cast<unsigned long long>(rt.controller().power_manager().restores()),
+              rt.total_power_watts(), cfg.crc.power.cap_watts);
   std::printf("traffic: %llu flows, %llu failed, goodput %.2f Gbps\n",
               static_cast<unsigned long long>(gen.flows_generated()),
-              static_cast<unsigned long long>(rack.network->flows_failed()),
+              static_cast<unsigned long long>(rt.network().flows_failed()),
               gen.goodput_gbps());
   return 0;
 }

@@ -9,7 +9,8 @@ using rsf::sim::SimTime;
 
 CrcController::CrcController(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant,
                              plp::PlpEngine* engine, fabric::Topology* topo,
-                             fabric::Router* router, fabric::Network* net, CrcConfig config)
+                             fabric::Router* router, fabric::Network* net, CrcConfig config,
+                             telemetry::Registry* registry)
     : sim_(sim),
       router_(router),
       config_(config),
@@ -18,7 +19,13 @@ CrcController::CrcController(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant
       circuits_(sim, engine, plant, topo, router, net, config.circuits),
       fec_(engine, plant, config.fec),
       power_(engine, plant, config.power),
-      health_(engine, plant, config.health) {
+      health_(engine, plant, config.health),
+      own_registry_(registry ? nullptr : std::make_unique<telemetry::Registry>()),
+      registry_(registry ? registry : own_registry_.get()),
+      power_series_(registry_->series("crc.rack_power_w")),
+      util_series_(registry_->series("crc.mean_utilization")),
+      price_series_(registry_->series("crc.mean_price")),
+      counters_(registry_->counters("crc")) {
   if (router_ == nullptr) throw std::invalid_argument("CrcController: null router");
   // The epoch cannot be shorter than one token circulation.
   if (config_.epoch < ring_.circulation_time()) {

@@ -29,6 +29,7 @@
 #include "plp/engine.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/counters.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/series.hpp"
 
 namespace rsf::core {
@@ -62,9 +63,13 @@ struct CrcConfig {
 
 class CrcController {
  public:
+  /// Metrics land in `registry` under "crc.*" when one is supplied
+  /// (the FabricRuntime passes its own); without one the controller
+  /// owns a private registry, keeping direct construction in unit
+  /// tests working.
   CrcController(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, plp::PlpEngine* engine,
                 fabric::Topology* topo, fabric::Router* router, fabric::Network* net,
-                CrcConfig config = {});
+                CrcConfig config = {}, telemetry::Registry* registry = nullptr);
 
   CrcController(const CrcController&) = delete;
   CrcController& operator=(const CrcController&) = delete;
@@ -124,10 +129,14 @@ class CrcController {
   bool torus_triggered_ = false;
   std::optional<RackSnapshot> last_snapshot_;
 
-  telemetry::TimeSeries power_series_{"rack_power_w"};
-  telemetry::TimeSeries util_series_{"mean_utilization"};
-  telemetry::TimeSeries price_series_{"mean_price"};
-  telemetry::CounterSet counters_;
+  // Instruments live in the registry (owned locally only when the
+  // caller supplied none).
+  std::unique_ptr<telemetry::Registry> own_registry_;
+  telemetry::Registry* registry_;
+  telemetry::TimeSeries& power_series_;
+  telemetry::TimeSeries& util_series_;
+  telemetry::TimeSeries& price_series_;
+  telemetry::CounterSet& counters_;
 };
 
 }  // namespace rsf::core

@@ -45,6 +45,11 @@ class PowerManager {
   [[nodiscard]] std::uint64_t restores() const { return restores_; }
   [[nodiscard]] const PowerManagerConfig& config() const { return config_; }
 
+  /// Adjust the cap at runtime. Callers that size the cap relative to
+  /// the built rack's draw (e.g. "95% of uncapped") set it after
+  /// construction; the next epoch enforces it.
+  void set_cap(double cap_watts) { config_.cap_watts = cap_watts; }
+
  private:
   struct ShedRecord {
     phy::LinkId spare = phy::kInvalidLink;   // dark link (1 lane)

@@ -45,7 +45,7 @@ void finish_rack(Rack& rack, const std::vector<phy::LinkId>& initial_links) {
   rack.router = std::make_unique<Router>(rack.topology.get(), p.routing);
   rack.router->set_hop_penalty_ns(p.net_config.switch_params.switch_latency.ns());
   rack.network = std::make_unique<Network>(rack.sim, rack.plant.get(), rack.topology.get(),
-                                           rack.router.get(), p.net_config);
+                                           rack.router.get(), p.net_config, p.registry);
 }
 
 /// Creates the cable a->b and (optionally) its initial adjacent link.

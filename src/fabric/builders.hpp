@@ -46,6 +46,10 @@ struct RackParams {
   plp::PlpCapabilities plp_caps = plp::PlpCapabilities::all();
   NetworkConfig net_config{};
   RoutingPolicy routing = RoutingPolicy::kMinCost;
+  /// Optional shared metric registry handed to the Network (and by the
+  /// runtime to every component). Must outlive the rack. nullptr lets
+  /// the network own a private one.
+  telemetry::Registry* registry = nullptr;
 };
 
 /// Everything a bench needs, wired together. Members are declared in

@@ -15,14 +15,20 @@ constexpr auto kHeader = rsf::phy::DataSize::bytes(64);
 }  // namespace
 
 Network::Network(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, Topology* topo,
-                 Router* router, NetworkConfig config)
+                 Router* router, NetworkConfig config, telemetry::Registry* registry)
     : sim_(sim),
       plant_(plant),
       topo_(topo),
       router_(router),
       config_(config),
       rng_(config.seed, "network"),
-      log_(sim, "net") {
+      log_(sim, "net"),
+      own_registry_(registry ? nullptr : std::make_unique<telemetry::Registry>()),
+      registry_(registry ? registry : own_registry_.get()),
+      packet_latency_(registry_->histogram("net.packet_latency")),
+      flow_completion_(registry_->histogram("net.flow_completion")),
+      hop_counts_(registry_->histogram("net.hop_counts")),
+      counters_(registry_->counters("net")) {
   if (sim_ == nullptr || plant_ == nullptr || topo_ == nullptr || router_ == nullptr) {
     throw std::invalid_argument("Network: null dependency");
   }
@@ -31,7 +37,9 @@ Network::Network(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, Topology* 
 
 void Network::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
   if (spec.id == kNoFlow) throw std::invalid_argument("start_flow: flow id 0 reserved");
-  if (flows_.contains(spec.id)) throw std::invalid_argument("start_flow: duplicate flow id");
+  if (flow_index_.contains(spec.id)) {
+    throw std::invalid_argument("start_flow: duplicate flow id");
+  }
   if (spec.size.bit_count() <= 0 || spec.packet_size.bit_count() <= 0) {
     throw std::invalid_argument("start_flow: non-positive sizes");
   }
@@ -41,23 +49,30 @@ void Network::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
   state.packets_total = static_cast<std::uint64_t>(
       (spec.size.bit_count() + spec.packet_size.bit_count() - 1) /
       spec.packet_size.bit_count());
-  flows_.emplace(spec.id, std::move(state));
+  const auto idx = static_cast<std::uint32_t>(flows_.size());
+  flows_.push_back(std::move(state));
+  flow_index_.emplace(spec.id, idx);
   counters_.add("net.flows_started");
   // A start time already in the past means "now".
-  sim_->schedule_at(std::max(spec.start, sim_->now()), [this, id = spec.id] {
-    auto fit = flows_.find(id);
-    if (fit == flows_.end()) return;
-    fit->second.started = sim_->now();
-    pump_flow(fit->second);
+  sim_->schedule_at(std::max(spec.start, sim_->now()), [this, idx] {
+    flows_[idx].started = sim_->now();
+    pump_flow(idx);
   });
 }
 
-void Network::pump_flow(FlowState& flow) {
-  while (!flow.done && flow.inflight < config_.flow_window &&
-         flow.next_seq < flow.packets_total) {
+void Network::pump_flow(std::uint32_t flow_idx) {
+  // Index, not reference: inject() only schedules (no synchronous
+  // re-entry), but flows_ may have grown between packets.
+  while (true) {
+    FlowState& flow = flows_[flow_idx];
+    if (flow.done || flow.inflight >= config_.flow_window ||
+        flow.next_seq >= flow.packets_total) {
+      return;
+    }
     Packet pkt;
     pkt.id = next_packet_id_++;
     pkt.flow = flow.spec.id;
+    pkt.flow_idx = static_cast<std::int32_t>(flow_idx);
     pkt.seq = flow.next_seq++;
     pkt.src = flow.spec.src;
     pkt.dst = flow.spec.dst;
@@ -80,7 +95,16 @@ void Network::send_probe(phy::NodeId src, phy::NodeId dst, phy::DataSize size,
   pkt.src = src;
   pkt.dst = dst;
   pkt.size = size;
-  probes_[pkt.id] = ProbeState{std::move(cb)};
+  std::uint32_t slot;
+  if (!free_probe_slots_.empty()) {
+    slot = free_probe_slots_.back();
+    free_probe_slots_.pop_back();
+    probes_[slot].cb = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(probes_.size());
+    probes_.push_back(ProbeState{std::move(cb)});
+  }
+  pkt.probe_idx = static_cast<std::int32_t>(slot);
   counters_.add("net.probes");
   inject(pkt, sim_->now());
 }
@@ -92,6 +116,21 @@ void Network::inject(Packet pkt, SimTime when) {
   const SimTime ready = when + config_.switch_params.nic_latency;
   // The whole packet sits in host memory: head and tail both available.
   sim_->schedule_at(ready, [this, pkt, ready] { hop(pkt, pkt.src, ready, ready); });
+}
+
+void Network::record_switched_bits(const Packet& pkt) {
+  // Dynamic switching energy is charged at the sending node's element
+  // (the source NIC for hop 0).
+  switched_bits_total_ += static_cast<std::uint64_t>(pkt.size.bit_count());
+  switched_bits_log_.emplace_back(sim_->now(), switched_bits_total_);
+  // Age out entries older than the retention window so the log stays
+  // bounded however long the run is.
+  const SimTime cutoff = sim_->now() - power_retention_;
+  while (!switched_bits_log_.empty() && switched_bits_log_.front().first < cutoff) {
+    switched_bits_pruned_ = switched_bits_log_.front().second;
+    switched_bits_pruned_time_ = switched_bits_log_.front().first;
+    switched_bits_log_.pop_front();
+  }
 }
 
 void Network::hop(Packet pkt, phy::NodeId node, SimTime head_ready, SimTime tail_ready) {
@@ -146,7 +185,7 @@ void Network::hop(Packet pkt, phy::NodeId node, SimTime head_ready, SimTime tail
   const SimTime header_ser = l.serialization_delay(std::min(kHeader, pkt.size));
   const SimTime prop = l.propagation_delay() + l.fec().latency;
 
-  PortState& port = ports_[port_key(node, link)];
+  PortState& port = port_at(node, link, l);
   // Start rule: head available (head_ready already includes the
   // switch/NIC pipeline), port free, and the no-underrun constraint
   // (transmission may not finish before the tail has arrived here).
@@ -154,7 +193,7 @@ void Network::hop(Packet pkt, phy::NodeId node, SimTime head_ready, SimTime tail
   if (tail_ready - ser > start) start = tail_ready - ser;
   port.busy_until = start + ser;
 
-  LinkUse& use = link_use_[link];
+  LinkUse& use = link_use_at(link);
   use.busy += ser;
   use.queue_delay_sum += start - std::max(head_ready, tail_ready - ser);
   ++use.queue_delay_samples;
@@ -164,10 +203,7 @@ void Network::hop(Packet pkt, phy::NodeId node, SimTime head_ready, SimTime tail
   // telemetry (corrected codewords) for the BER estimator.
   plant_->account_frame(link, pkt.size, rng_);
 
-  // Dynamic switching energy is charged at the sending node's element
-  // (the source NIC for hop 0).
-  switched_bits_total_ += static_cast<std::uint64_t>(pkt.size.bit_count());
-  switched_bits_log_.emplace_back(sim_->now(), switched_bits_total_);
+  record_switched_bits(pkt);
 
   // Loss is decided per-link from the analytic FEC model.
   const double loss_p = l.frame_loss_prob(pkt.size);
@@ -198,14 +234,17 @@ void Network::deliver(const Packet& pkt, SimTime when) {
     packet_latency_.record(when - pkt.injected);
     hop_counts_.record(static_cast<double>(pkt.hops));
     counters_.add("net.packets_delivered");
-    auto pit = probes_.find(pkt.id);
-    if (pit != probes_.end()) {
-      auto cb = std::move(pit->second.cb);
-      probes_.erase(pit);
+    if (pkt.probe_idx >= 0) {
+      const auto slot = static_cast<std::uint32_t>(pkt.probe_idx);
+      auto cb = std::move(probes_[slot].cb);
+      probes_[slot].cb = nullptr;
+      free_probe_slots_.push_back(slot);
       if (cb) cb(when - pkt.injected, pkt.hops, true);
       return;
     }
-    if (pkt.flow != kNoFlow) flow_packet_delivered(pkt.flow);
+    if (pkt.flow_idx >= 0) {
+      flow_packet_delivered(static_cast<std::uint32_t>(pkt.flow_idx));
+    }
   };
   if (when > sim_->now()) {
     sim_->schedule_at(when, finalize);
@@ -217,16 +256,17 @@ void Network::deliver(const Packet& pkt, SimTime when) {
 void Network::drop(const Packet& pkt, const char* reason) {
   counters_.add(std::string("net.drops.") + reason);
   log_.debug("drop packet ", pkt.id, " (", reason, ")");
-  auto pit = probes_.find(pkt.id);
-  if (pit != probes_.end()) {
-    auto cb = std::move(pit->second.cb);
-    probes_.erase(pit);
+  if (pkt.probe_idx >= 0) {
+    const auto slot = static_cast<std::uint32_t>(pkt.probe_idx);
+    auto cb = std::move(probes_[slot].cb);
+    probes_[slot].cb = nullptr;
+    free_probe_slots_.push_back(slot);
     if (cb) cb(SimTime::zero(), pkt.hops, false);
     return;
   }
-  if (pkt.flow != kNoFlow) {
-    auto fit = flows_.find(pkt.flow);
-    if (fit != flows_.end() && !fit->second.done) finish_flow(fit->second, /*failed=*/true);
+  if (pkt.flow_idx >= 0) {
+    const auto idx = static_cast<std::uint32_t>(pkt.flow_idx);
+    if (!flows_[idx].done) finish_flow(idx, /*failed=*/true);
   }
 }
 
@@ -237,10 +277,7 @@ void Network::retransmit(Packet pkt) {
   }
   ++pkt.retries;
   counters_.add("net.retransmits");
-  if (pkt.flow != kNoFlow) {
-    auto fit = flows_.find(pkt.flow);
-    if (fit != flows_.end()) ++fit->second.retransmits;
-  }
+  if (pkt.flow_idx >= 0) ++flows_[static_cast<std::uint32_t>(pkt.flow_idx)].retransmits;
   sim_->schedule_after(config_.retry_delay, [this, pkt]() mutable {
     pkt.hops = 0;
     const SimTime ready = sim_->now() + config_.switch_params.nic_latency;
@@ -248,20 +285,20 @@ void Network::retransmit(Packet pkt) {
   });
 }
 
-void Network::flow_packet_delivered(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end() || it->second.done) return;
-  FlowState& flow = it->second;
+void Network::flow_packet_delivered(std::uint32_t flow_idx) {
+  FlowState& flow = flows_[flow_idx];
+  if (flow.done) return;
   --flow.inflight;
   ++flow.delivered;
   if (flow.delivered == flow.packets_total) {
-    finish_flow(flow, /*failed=*/false);
+    finish_flow(flow_idx, /*failed=*/false);
     return;
   }
-  pump_flow(flow);
+  pump_flow(flow_idx);
 }
 
-void Network::finish_flow(FlowState& flow, bool failed) {
+void Network::finish_flow(std::uint32_t flow_idx, bool failed) {
+  FlowState& flow = flows_[flow_idx];
   flow.done = true;
   flow.failed = failed;
   FlowResult result;
@@ -279,24 +316,27 @@ void Network::finish_flow(FlowState& flow, bool failed) {
     counters_.add("net.flows_completed");
     flow_completion_.record(result.completion_time());
   }
-  if (flow.on_complete) flow.on_complete(result);
+  // Move the callback out before invoking it: a completion callback may
+  // start new flows, growing flows_ and invalidating `flow`.
+  auto cb = std::move(flow.on_complete);
+  flow.on_complete = nullptr;
+  if (cb) cb(result);
 }
 
 SimTime Network::link_busy_time(phy::LinkId id) const {
-  auto it = link_use_.find(id);
-  return it == link_use_.end() ? SimTime::zero() : it->second.busy;
+  return id < link_use_.size() ? link_use_[id].busy : SimTime::zero();
 }
 
 SimTime Network::link_mean_queue_delay(phy::LinkId id) const {
-  auto it = link_use_.find(id);
-  if (it == link_use_.end() || it->second.queue_delay_samples == 0) return SimTime::zero();
-  return it->second.queue_delay_sum /
-         static_cast<std::int64_t>(it->second.queue_delay_samples);
+  if (id >= link_use_.size() || link_use_[id].queue_delay_samples == 0) {
+    return SimTime::zero();
+  }
+  return link_use_[id].queue_delay_sum /
+         static_cast<std::int64_t>(link_use_[id].queue_delay_samples);
 }
 
 std::uint64_t Network::link_packets(phy::LinkId id) const {
-  auto it = link_use_.find(id);
-  return it == link_use_.end() ? 0 : it->second.packets;
+  return id < link_use_.size() ? link_use_[id].packets : 0;
 }
 
 double Network::switch_power_watts(SimTime window) const {
@@ -320,22 +360,29 @@ double Network::switch_power_watts(SimTime window) const {
   }
   const double static_w =
       config_.switch_params.port_static_w * static_cast<double>(switching_ends.size());
-  // Dynamic: bits switched in the trailing window.
+  // Dynamic: bits switched in the trailing window. Remember the widest
+  // window ever queried so the append-side pruning keeps enough log.
+  power_retention_ = std::max(power_retention_, window);
   const SimTime now = sim_->now();
   const SimTime from = now >= window ? now - window : SimTime::zero();
-  // Trim the log as a side effect (mutable).
-  auto& lg = switched_bits_log_;
-  std::size_t keep_from = 0;
-  while (keep_from < lg.size() && lg[keep_from].first < from) ++keep_from;
-  std::uint64_t bits_before = switched_bits_total_;
-  if (keep_from < lg.size()) {
-    bits_before = keep_from == 0 ? 0 : lg[keep_from - 1].second;
-  } else if (!lg.empty()) {
-    bits_before = lg.back().second;
+  // A window wider than the retained history can only be answered for
+  // the covered span [pruned_time, now]: clamp the window start there
+  // and normalise by the covered duration, so the rate is exact over
+  // what was observed instead of silently under-counting. (Subsequent
+  // queries get full coverage — retention was widened above.)
+  const SimTime covered_from = std::max(from, switched_bits_pruned_time_);
+  // Baseline: cumulative bits at the last entry before the (covered)
+  // window starts. If every retained entry is inside the window the
+  // baseline is whatever was pruned off the front.
+  std::uint64_t bits_before = switched_bits_pruned_;
+  for (const auto& [t, bits] : switched_bits_log_) {
+    if (t >= covered_from) break;
+    bits_before = bits;
   }
-  if (keep_from > 0) lg.erase(lg.begin(), lg.begin() + static_cast<long>(keep_from));
   const double bits_in_window = static_cast<double>(switched_bits_total_ - bits_before);
-  const double seconds = std::max(window.sec(), 1e-12);
+  const double seconds = covered_from > from
+                             ? std::max((now - covered_from).sec(), 1e-12)
+                             : std::max(window.sec(), 1e-12);
   const double dynamic_w = bits_in_window * config_.switch_params.pj_per_bit * 1e-12 / seconds;
   return static_w + dynamic_w;
 }

@@ -16,7 +16,9 @@
 // loss probability) are retransmitted from the source.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "sim/simulator.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rsf::fabric {
 
@@ -66,8 +69,13 @@ class Network {
   using ProbeCallback =
       std::function<void(rsf::sim::SimTime latency, int hops, bool delivered)>;
 
+  /// Metrics land in `registry` under "net.*" when one is supplied
+  /// (the FabricRuntime hands every component its registry); without
+  /// one the network owns a private registry, so direct construction
+  /// in unit tests keeps working.
   Network(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, Topology* topo,
-          Router* router, NetworkConfig config = {});
+          Router* router, NetworkConfig config = {},
+          telemetry::Registry* registry = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -136,7 +144,7 @@ class Network {
     ProbeCallback cb;
   };
 
-  void pump_flow(FlowState& flow);
+  void pump_flow(std::uint32_t flow_idx);
   void inject(Packet pkt, rsf::sim::SimTime when);
   /// Head of `pkt` is available at `node` at head_ready (switch/NIC
   /// latency already applied); tail fully arrived at tail_ready.
@@ -145,11 +153,21 @@ class Network {
   void deliver(const Packet& pkt, rsf::sim::SimTime when);
   void drop(const Packet& pkt, const char* reason);
   void retransmit(Packet pkt);
-  void flow_packet_delivered(FlowId id);
-  void finish_flow(FlowState& flow, bool failed);
+  void flow_packet_delivered(std::uint32_t flow_idx);
+  void finish_flow(std::uint32_t flow_idx, bool failed);
+  void record_switched_bits(const Packet& pkt);
 
-  [[nodiscard]] std::uint64_t port_key(phy::NodeId node, phy::LinkId link) const {
-    return (static_cast<std::uint64_t>(node) << 32) | link;
+  /// A port is one cable end in switching use: every link has exactly
+  /// two, so (link, side) indexes a dense pool with no hashing.
+  [[nodiscard]] PortState& port_at(phy::NodeId node, phy::LinkId link,
+                                   const phy::LogicalLink& l) {
+    const std::size_t idx = static_cast<std::size_t>(link) * 2 + (l.end_a() == node ? 0 : 1);
+    if (idx >= ports_.size()) ports_.resize((static_cast<std::size_t>(link) + 1) * 2);
+    return ports_[idx];
+  }
+  [[nodiscard]] LinkUse& link_use_at(phy::LinkId link) {
+    if (link >= link_use_.size()) link_use_.resize(link + 1);
+    return link_use_[link];
   }
 
   rsf::sim::Simulator* sim_;
@@ -160,22 +178,42 @@ class Network {
   rsf::sim::RandomStream rng_;
   rsf::sim::Logger log_;
 
-  std::unordered_map<std::uint64_t, PortState> ports_;
-  std::unordered_map<phy::LinkId, LinkUse> link_use_;
-  std::unordered_map<FlowId, FlowState> flows_;
-  std::unordered_map<std::uint64_t, ProbeState> probes_;  // packet id -> probe
+  // Hot-path state is vector-indexed: ports and link usage by (dense,
+  // monotonically assigned) LinkId, flow and probe state by the dense
+  // index each Packet carries. The only hash map left is the cold
+  // FlowId -> index resolver used at start_flow time.
+  std::vector<PortState> ports_;        // 2 slots per link: [link*2 + side]
+  std::vector<LinkUse> link_use_;       // by LinkId
+  std::vector<FlowState> flows_;        // by Packet::flow_idx, append-only
+  std::vector<ProbeState> probes_;      // by Packet::probe_idx, slots reused
+  std::vector<std::uint32_t> free_probe_slots_;
+  std::unordered_map<FlowId, std::uint32_t> flow_index_;  // cold: start_flow only
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;
 
-  // Sliding window accounting for dynamic switch power.
+  // Sliding window accounting for dynamic switch power. The log keeps
+  // only the trailing retention window (the largest window any power
+  // query has asked for): entries age out on append, so the log stays
+  // bounded over arbitrarily long runs.
   std::uint64_t switched_bits_total_ = 0;
-  mutable std::vector<std::pair<rsf::sim::SimTime, std::uint64_t>> switched_bits_log_;
+  std::deque<std::pair<rsf::sim::SimTime, std::uint64_t>> switched_bits_log_;
+  /// Cumulative bits (and timestamp) at the newest pruned entry: the
+  /// baseline for a query whose window spans the whole retained log,
+  /// and the start of the span the log actually covers.
+  std::uint64_t switched_bits_pruned_ = 0;
+  rsf::sim::SimTime switched_bits_pruned_time_ = rsf::sim::SimTime::zero();
+  mutable rsf::sim::SimTime power_retention_ = rsf::sim::SimTime::milliseconds(1);
 
-  telemetry::Histogram packet_latency_;
-  telemetry::Histogram flow_completion_;
-  telemetry::Histogram hop_counts_;
-  telemetry::CounterSet counters_;
+  // Instruments live in the registry (owned locally only when the
+  // caller supplied none). Declared after own_registry_ so the
+  // references initialize against a live registry.
+  std::unique_ptr<telemetry::Registry> own_registry_;
+  telemetry::Registry* registry_;
+  telemetry::Histogram& packet_latency_;
+  telemetry::Histogram& flow_completion_;
+  telemetry::Histogram& hop_counts_;
+  telemetry::CounterSet& counters_;
 };
 
 }  // namespace rsf::fabric

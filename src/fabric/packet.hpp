@@ -24,6 +24,11 @@ struct Packet {
   rsf::sim::SimTime injected = rsf::sim::SimTime::zero();
   int hops = 0;
   int retries = 0;
+  /// Dense index of the owning flow (or probe) in the transport's
+  /// id-indexed pools; resolved once at injection so the per-hop path
+  /// never hashes the 64-bit flow id. < 0 means "none".
+  std::int32_t flow_idx = -1;
+  std::int32_t probe_idx = -1;
 };
 
 /// A flow request: `size` bytes from src to dst, injected as

@@ -16,6 +16,7 @@ constexpr auto kRefFrame = rsf::phy::DataSize::bytes(1024);
 
 Router::Router(const Topology* topo, RoutingPolicy policy) : topo_(topo), policy_(policy) {
   if (topo_ == nullptr) throw std::invalid_argument("Router: null topology");
+  tables_.resize(topo_->node_count());
 }
 
 void Router::set_policy(RoutingPolicy p) { policy_ = p; }
@@ -43,6 +44,8 @@ double Router::cost(phy::LinkId link) const {
 }
 
 const Router::DistTable& Router::table_for(phy::NodeId dst) {
+  // Callers guarantee dst < node_count(); tables_ is sized to match at
+  // construction (node count is fixed for a rack's lifetime).
   DistTable& t = tables_[dst];
   if (t.topo_version == topo_->version() && t.price_generation == price_generation_ &&
       !t.dist.empty()) {
@@ -87,6 +90,7 @@ std::optional<phy::LinkId> Router::next_hop(phy::NodeId at, phy::NodeId dst) {
 }
 
 std::optional<phy::LinkId> Router::next_hop_min_cost(phy::NodeId at, phy::NodeId dst) {
+  if (dst >= tables_.size()) return std::nullopt;
   const DistTable& t = table_for(dst);
   if (at >= t.dist.size() || t.dist[at] == kUnreachable) return std::nullopt;
   double best = kUnreachable;
@@ -156,6 +160,7 @@ std::optional<phy::LinkId> Router::next_hop_dimension_order(phy::NodeId at,
 
 std::optional<double> Router::path_cost(phy::NodeId src, phy::NodeId dst) {
   if (src == dst) return 0.0;
+  if (dst >= tables_.size()) return std::nullopt;
   const DistTable& t = table_for(dst);
   if (src >= t.dist.size() || t.dist[src] == kUnreachable) return std::nullopt;
   return t.dist[src];

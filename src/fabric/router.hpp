@@ -17,7 +17,6 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "fabric/topology.hpp"
@@ -85,7 +84,9 @@ class Router {
   PriceFn price_fn_;
   std::uint64_t price_generation_ = 1;
   double hop_penalty_ns_ = 450.0;  // cut-through pipeline, see SwitchParams
-  std::unordered_map<phy::NodeId, DistTable> tables_;
+  // Destination-indexed (node ids are dense): the per-hop table lookup
+  // is a single vector index instead of a hash probe.
+  std::vector<DistTable> tables_;
 
   [[nodiscard]] std::optional<phy::LinkId> next_hop_min_cost(phy::NodeId at, phy::NodeId dst);
   [[nodiscard]] std::optional<phy::LinkId> next_hop_dimension_order(phy::NodeId at,

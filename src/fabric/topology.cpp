@@ -23,13 +23,13 @@ Topology::Topology(phy::PhysicalPlant* plant, plp::PlpEngine* engine,
 }
 
 void Topology::rebuild() {
-  links_at_.clear();
+  links_at_.assign(node_count_, {});
   for (phy::LinkId id : plant_->link_ids()) {
     const phy::LogicalLink& l = plant_->link(id);
-    links_at_[l.end_a()].push_back(id);
-    links_at_[l.end_b()].push_back(id);
+    if (l.end_a() < node_count_) links_at_[l.end_a()].push_back(id);
+    if (l.end_b() < node_count_) links_at_[l.end_b()].push_back(id);
   }
-  for (auto& [_, v] : links_at_) std::sort(v.begin(), v.end());
+  // link_ids() is sorted, so each adjacency list already is.
   ++version_;
 }
 
@@ -40,9 +40,9 @@ void Topology::on_links_changed(const std::vector<phy::LinkId>&,
   rebuild();
 }
 
-const std::vector<phy::LinkId>& Topology::links_at(phy::NodeId node) const {
-  auto it = links_at_.find(node);
-  return it == links_at_.end() ? empty_ : it->second;
+void Topology::set_coord(phy::NodeId node, Coord c) {
+  if (node >= coords_.size()) coords_.resize(std::max<std::size_t>(node + 1, node_count_));
+  coords_[node] = c;
 }
 
 bool Topology::usable(phy::LinkId link) const {
@@ -63,12 +63,6 @@ std::optional<phy::LinkId> Topology::link_between(phy::NodeId a, phy::NodeId b) 
     if (l.connects(b) && usable(id)) return id;
   }
   return std::nullopt;
-}
-
-std::optional<Coord> Topology::coord(phy::NodeId node) const {
-  auto it = coords_.find(node);
-  if (it == coords_.end()) return std::nullopt;
-  return it->second;
 }
 
 }  // namespace rsf::fabric

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "phy/plant.hpp"
@@ -41,7 +40,9 @@ class Topology {
   [[nodiscard]] const phy::PhysicalPlant& plant() const { return *plant_; }
 
   /// Logical links terminating at `node` (any readiness state).
-  [[nodiscard]] const std::vector<phy::LinkId>& links_at(phy::NodeId node) const;
+  [[nodiscard]] const std::vector<phy::LinkId>& links_at(phy::NodeId node) const {
+    return node < links_at_.size() ? links_at_[node] : empty_;
+  }
 
   /// A link is usable when all its lanes are up and no PLP command is
   /// actuating on it.
@@ -56,8 +57,10 @@ class Topology {
   /// Bumped on any structural or readiness change.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
-  void set_coord(phy::NodeId node, Coord c) { coords_[node] = c; }
-  [[nodiscard]] std::optional<Coord> coord(phy::NodeId node) const;
+  void set_coord(phy::NodeId node, Coord c);
+  [[nodiscard]] std::optional<Coord> coord(phy::NodeId node) const {
+    return node < coords_.size() ? coords_[node] : std::nullopt;
+  }
 
   /// Grid/torus extents, set by the builders; needed by wrap-aware
   /// dimension-order routing.
@@ -90,8 +93,11 @@ class Topology {
   phy::PhysicalPlant* plant_;
   plp::PlpEngine* engine_;
   std::uint32_t node_count_;
-  std::unordered_map<phy::NodeId, std::vector<phy::LinkId>> links_at_;
-  std::unordered_map<phy::NodeId, Coord> coords_;
+  // Node ids are dense [0, node_count): adjacency and coordinates are
+  // plain vectors so the per-hop links_at()/coord() lookups are one
+  // index each.
+  std::vector<std::vector<phy::LinkId>> links_at_;
+  std::vector<std::optional<Coord>> coords_;
   std::uint64_t version_ = 1;
   int grid_w_ = 0;
   int grid_h_ = 0;

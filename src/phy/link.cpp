@@ -16,17 +16,26 @@ NodeId LogicalLink::other_end(NodeId n) const {
 }
 
 DataRate LogicalLink::raw_rate() const {
+  if (raw_rate_valid_) return raw_rate_cache_;
   if (segments_.empty()) return DataRate::zero();
   const LinkSegment& seg = segments_.front();
   const Cable& c = plant_->cable(seg.cable);
   DataRate r = DataRate::zero();
   for (int lane : seg.lanes) r = r + c.lane(lane).rate();
+  raw_rate_cache_ = r;
+  raw_rate_valid_ = true;
   return r;
 }
 
-DataRate LogicalLink::effective_rate() const { return fec_.effective_rate(raw_rate()); }
+DataRate LogicalLink::effective_rate() const {
+  if (eff_rate_valid_) return eff_rate_cache_;
+  eff_rate_cache_ = fec_.effective_rate(raw_rate());
+  eff_rate_valid_ = true;
+  return eff_rate_cache_;
+}
 
 SimTime LogicalLink::propagation_delay() const {
+  if (prop_valid_) return prop_cache_;
   SimTime t = SimTime::zero();
   for (const LinkSegment& seg : segments_) {
     t += plant_->cable(seg.cable).propagation_delay();
@@ -34,6 +43,8 @@ SimTime LogicalLink::propagation_delay() const {
   if (bypass_joints() > 0) {
     t += plant_->config().bypass_latency * static_cast<std::int64_t>(bypass_joints());
   }
+  prop_cache_ = t;
+  prop_valid_ = true;
   return t;
 }
 
@@ -58,12 +69,27 @@ double LogicalLink::frame_loss_prob(DataSize frame) const {
   // A frame crosses every segment; an uncorrectable error on any
   // segment loses it. Segments share the FEC config, so combine the
   // per-segment loss probabilities (worst-lane BER per segment).
+  // The FEC tail sum is expensive (lgamma loop) and its inputs repeat
+  // hop after hop, so memoize it per (ber, frame) — a fresh BER simply
+  // misses the memo.
   double survive = 1.0;
   for (const LinkSegment& seg : segments_) {
     const Cable& c = plant_->cable(seg.cable);
     double seg_ber = 0.0;
     for (int lane : seg.lanes) seg_ber = std::max(seg_ber, c.lane(lane).pre_fec_ber());
-    survive *= 1.0 - fec_.frame_loss_prob(seg_ber, frame);
+    double seg_loss = -1.0;
+    for (const LossMemo& m : loss_memo_) {
+      if (m.frame_bits == frame.bit_count() && m.ber == seg_ber) {
+        seg_loss = m.loss;
+        break;
+      }
+    }
+    if (seg_loss < 0.0) {
+      seg_loss = fec_.frame_loss_prob(seg_ber, frame);
+      loss_memo_[loss_memo_next_] = LossMemo{seg_ber, frame.bit_count(), seg_loss};
+      loss_memo_next_ = (loss_memo_next_ + 1) % loss_memo_.size();
+    }
+    survive *= 1.0 - seg_loss;
   }
   return 1.0 - survive;
 }

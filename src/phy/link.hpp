@@ -8,6 +8,7 @@
 // lanes each segment uses.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -96,12 +97,39 @@ class LogicalLink {
   friend class PhysicalPlant;
   std::optional<std::uint64_t> reserved_for_;
 
+  /// Drop every cache derived from fec_. Lane rates, cable lengths and
+  /// the segment chain are immutable for a link's lifetime, so the
+  /// rate/propagation caches only need computing once; the FEC caches
+  /// are re-primed lazily after a mode change.
+  void invalidate_fec_caches() {
+    eff_rate_valid_ = false;
+    loss_memo_.fill(LossMemo{});
+  }
+
   const PhysicalPlant* plant_;
   LinkId id_;
   NodeId end_a_;
   NodeId end_b_;
   std::vector<LinkSegment> segments_;
   FecSpec fec_;
+
+  // Derived-metric caches: these sit on the per-packet hop path, where
+  // recomputing (lane loops, lgamma-based FEC tail sums) dominated the
+  // event loop. BER is part of the loss-memo key, so out-of-band BER
+  // changes miss the memo instead of reading stale values.
+  mutable bool raw_rate_valid_ = false;
+  mutable DataRate raw_rate_cache_ = DataRate::zero();
+  mutable bool prop_valid_ = false;
+  mutable rsf::sim::SimTime prop_cache_ = rsf::sim::SimTime::zero();
+  mutable bool eff_rate_valid_ = false;
+  mutable DataRate eff_rate_cache_ = DataRate::zero();
+  struct LossMemo {
+    double ber = -1.0;
+    std::int64_t frame_bits = -1;
+    double loss = 0.0;
+  };
+  mutable std::array<LossMemo, 4> loss_memo_{};
+  mutable unsigned loss_memo_next_ = 0;
 };
 
 }  // namespace rsf::phy

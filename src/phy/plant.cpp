@@ -95,8 +95,10 @@ LinkId PhysicalPlant::install_link(NodeId end_a, NodeId end_b,
   check_segments(end_a, end_b, segments);
   const LinkId id = next_link_id_++;
   claim_lanes(segments, id);
-  links_.emplace(id, std::make_unique<LogicalLink>(this, id, end_a, end_b,
-                                                   std::move(segments), fec));
+  if (links_.size() <= id) links_.resize(id + 1);
+  links_[id] =
+      std::make_unique<LogicalLink>(this, id, end_a, end_b, std::move(segments), fec);
+  ++link_count_;
   return id;
 }
 
@@ -113,28 +115,23 @@ LinkId PhysicalPlant::create_adjacent_link(CableId cable_id, std::vector<int> la
 }
 
 void PhysicalPlant::destroy_link(LinkId id) {
-  auto it = links_.find(id);
-  if (it == links_.end()) throw std::invalid_argument("destroy_link: unknown link");
-  release_lanes(it->second->segments());
-  links_.erase(it);
-}
-
-const LogicalLink& PhysicalPlant::link(LinkId id) const {
-  auto it = links_.find(id);
-  if (it == links_.end()) throw std::invalid_argument("link: unknown id");
-  return *it->second;
+  if (!has_link(id)) throw std::invalid_argument("destroy_link: unknown link");
+  release_lanes(links_[id]->segments());
+  links_[id].reset();
+  --link_count_;
 }
 
 LogicalLink& PhysicalPlant::mutable_link(LinkId id) {
-  auto it = links_.find(id);
-  if (it == links_.end()) throw std::invalid_argument("link: unknown id");
-  return *it->second;
+  if (!has_link(id)) throw std::invalid_argument("link: unknown id");
+  return *links_[id];
 }
 
 std::vector<LinkId> PhysicalPlant::link_ids() const {
   std::vector<LinkId> ids;
-  ids.reserve(links_.size());
-  for (const auto& [id, _] : links_) ids.push_back(id);
+  ids.reserve(link_count_);
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    if (links_[id] != nullptr) ids.push_back(id);
+  }
   return ids;
 }
 
@@ -289,7 +286,11 @@ void PhysicalPlant::lane_power_off(LinkId id) {
   for_each_lane(mutable_link(id), [](Lane& l) { l.power_off(); });
 }
 
-void PhysicalPlant::set_fec(LinkId id, FecSpec fec) { mutable_link(id).fec_ = fec; }
+void PhysicalPlant::set_fec(LinkId id, FecSpec fec) {
+  LogicalLink& l = mutable_link(id);
+  l.fec_ = fec;
+  l.invalidate_fec_caches();
+}
 
 void PhysicalPlant::set_reservation(LinkId id, std::optional<std::uint64_t> flow) {
   mutable_link(id).reserved_for_ = flow;
@@ -398,7 +399,9 @@ double PhysicalPlant::total_power_watts() const {
 
 int PhysicalPlant::total_bypass_joints() const {
   int joints = 0;
-  for (const auto& [_, l] : links_) joints += l->bypass_joints();
+  for (const auto& l : links_) {
+    if (l) joints += l->bypass_joints();
+  }
   return joints;
 }
 
@@ -419,7 +422,9 @@ std::vector<int> PhysicalPlant::free_lanes(CableId cable_id) const {
 
 std::string PhysicalPlant::validate() const {
   std::unordered_map<LaneRef, LinkId> recomputed;
-  for (const auto& [id, l] : links_) {
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    const auto& l = links_[id];
+    if (!l) continue;
     // I2 + I3 + I4 via the same checker used at creation, but lanes are
     // owned (by this link), so re-check ownership separately.
     const std::size_t lanes_per_segment =

@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -79,10 +79,18 @@ class PhysicalPlant {
   /// decision made by the control plane.
   void destroy_link(LinkId id);
 
-  [[nodiscard]] bool has_link(LinkId id) const { return links_.contains(id); }
-  [[nodiscard]] const LogicalLink& link(LinkId id) const;
+  [[nodiscard]] bool has_link(LinkId id) const {
+    return id < links_.size() && links_[id] != nullptr;
+  }
+  /// Inline: called several times per packet hop.
+  [[nodiscard]] const LogicalLink& link(LinkId id) const {
+    if (id >= links_.size() || links_[id] == nullptr) {
+      throw std::invalid_argument("link: unknown id");
+    }
+    return *links_[id];
+  }
   [[nodiscard]] std::vector<LinkId> link_ids() const;
-  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return link_count_; }
 
   // --- PLP #1: breaking / bundling ---
 
@@ -190,7 +198,12 @@ class PhysicalPlant {
   PlantConfig config_;
   std::vector<ChangeObserver> change_observers_;
   std::vector<std::unique_ptr<Cable>> cables_;
-  std::map<LinkId, std::unique_ptr<LogicalLink>> links_;
+  // Dense id-indexed pool: link ids are assigned sequentially and never
+  // reused, so the per-hop link(id) lookup is one bounds check and one
+  // pointer chase. Destroyed links leave nullptr holes; link_ids()
+  // skips them (and stays sorted for deterministic iteration).
+  std::vector<std::unique_ptr<LogicalLink>> links_;
+  std::size_t link_count_ = 0;
   std::unordered_map<LaneRef, LinkId> lane_owner_;
   LinkId next_link_id_ = 0;
 };

@@ -1,0 +1,69 @@
+#include "runtime/runtime.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rsf::runtime {
+
+namespace {
+
+fabric::Rack build_rack(rsf::sim::Simulator* sim, const RuntimeConfig& config,
+                        telemetry::Registry* registry) {
+  fabric::RackParams params = config.rack;
+  params.registry = registry;
+  const int n = config.nodes > 0 ? config.nodes : params.width;
+  switch (config.shape) {
+    case RackShape::kGrid:
+      return fabric::build_grid(sim, params);
+    case RackShape::kTorus:
+      return fabric::build_torus(sim, params);
+    case RackShape::kChain:
+      return fabric::build_chain(sim, n, params);
+    case RackShape::kRing:
+      return fabric::build_ring(sim, n, params);
+  }
+  throw std::invalid_argument("FabricRuntime: unknown rack shape");
+}
+
+}  // namespace
+
+FabricRuntime::FabricRuntime(RuntimeConfig config)
+    : config_(std::move(config)), rack_(build_rack(&sim_, config_, &registry_)) {
+  if (config_.enable_crc) {
+    crc_ = std::make_unique<core::CrcController>(
+        &sim_, rack_.plant.get(), rack_.engine.get(), rack_.topology.get(),
+        rack_.router.get(), rack_.network.get(), config_.crc, &registry_);
+  }
+}
+
+core::CrcController& FabricRuntime::controller() {
+  if (!crc_) throw std::logic_error("FabricRuntime: built with enable_crc = false");
+  return *crc_;
+}
+
+telemetry::Table FabricRuntime::metrics_table() const {
+  return registry_.to_table("rack metrics");
+}
+
+void FabricRuntime::start() {
+  if (crc_) crc_->start();
+}
+
+void FabricRuntime::stop() {
+  if (crc_) crc_->stop();
+}
+
+workload::FlowGenerator& FabricRuntime::add_generator(workload::TrafficMatrix matrix,
+                                                      workload::GeneratorConfig cfg) {
+  generators_.push_back(std::make_unique<workload::FlowGenerator>(
+      &sim_, rack_.network.get(), std::move(matrix), cfg));
+  return *generators_.back();
+}
+
+workload::ShuffleJob& FabricRuntime::add_shuffle(workload::ShuffleConfig cfg) {
+  shuffles_.push_back(
+      std::make_unique<workload::ShuffleJob>(&sim_, rack_.network.get(), std::move(cfg)));
+  return *shuffles_.back();
+}
+
+}  // namespace rsf::runtime

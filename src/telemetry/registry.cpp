@@ -1,0 +1,91 @@
+#include "telemetry/registry.hpp"
+
+#include <utility>
+
+namespace rsf::telemetry {
+
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+CounterSet& Registry::counters(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<CounterSet>()).first;
+  }
+  return *it->second;
+}
+
+TimeSeries& Registry::series(std::string_view name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(name), std::make_unique<TimeSeries>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const CounterSet* Registry::find_counters(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const TimeSeries* Registry::find_series(std::string_view name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+/// Components conventionally prefix their counter names with their
+/// registry key already ("net.flows_started" in set "net"); avoid
+/// rendering the prefix twice.
+std::string qualify(const std::string& set_name, const std::string& metric) {
+  if (metric.starts_with(set_name + ".")) return metric;
+  return set_name + "." + metric;
+}
+}  // namespace
+
+Table Registry::to_table(std::string title) const {
+  Table table(std::move(title), {"metric", "type", "value", "detail"});
+  for (const auto& [name, set] : counters_) {
+    for (const auto& [counter, value] : set->counters()) {
+      table.row().cell(qualify(name, counter)).cell("counter").cell(value).cell("");
+    }
+    for (const auto& [gauge, value] : set->gauges()) {
+      table.row().cell(qualify(name, gauge)).cell("gauge").cell(value, 3).cell("");
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    table.row()
+        .cell(name)
+        .cell("histogram")
+        .cell(h->count())
+        .cell(h->count() > 0 ? h->summary() : "empty");
+  }
+  for (const auto& [name, s] : series_) {
+    const std::size_t n = s->samples().size();
+    std::string detail;
+    if (n > 0) {
+      detail = "last=" + std::to_string(s->samples().back().value) +
+               " min=" + std::to_string(s->min_value()) +
+               " max=" + std::to_string(s->max_value());
+    }
+    table.row()
+        .cell(name)
+        .cell("series")
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(n > 0 ? detail : "empty");
+  }
+  return table;
+}
+
+}  // namespace rsf::telemetry

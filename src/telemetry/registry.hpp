@@ -1,0 +1,57 @@
+// rsf::telemetry — the metric registry.
+//
+// A Registry is one named home for every metric the components of a
+// runtime emit: histograms, counter sets and time series, keyed by a
+// dotted path ("net.packet_latency", "crc.rack_power_w"). Components
+// obtain their instruments from the registry their owner hands them,
+// so any experiment can look a metric up by name or dump the whole
+// rack's telemetry as one unified table, instead of chasing accessors
+// across six subsystems. Instruments are owned by the registry and
+// pointer-stable for its lifetime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/table.hpp"
+
+namespace rsf::telemetry {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. References stay valid for the registry's lifetime.
+  Histogram& histogram(std::string_view name);
+  CounterSet& counters(std::string_view name);
+  TimeSeries& series(std::string_view name);
+
+  /// Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+  [[nodiscard]] const CounterSet* find_counters(std::string_view name) const;
+  [[nodiscard]] const TimeSeries* find_series(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return histograms_.size() + counters_.size() + series_.size();
+  }
+
+  /// The unified metrics dump: every counter, gauge, histogram and
+  /// series in one sorted table.
+  [[nodiscard]] Table to_table(std::string title = "metrics") const;
+
+ private:
+  // unique_ptr for reference stability across rehashing inserts.
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<CounterSet>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<TimeSeries>, std::less<>> series_;
+};
+
+}  // namespace rsf::telemetry

@@ -7,81 +7,72 @@
 //   * simulation determinism with every controller feature enabled.
 #include <gtest/gtest.h>
 
-#include "core/controller.hpp"
-#include "fabric/builders.hpp"
 #include "phy/ber_profile.hpp"
-#include "workload/generator.hpp"
+#include "runtime/runtime.hpp"
 
 namespace rsf {
 namespace {
 
-using fabric::Rack;
-using fabric::RackParams;
 using phy::DataSize;
 using phy::LinkId;
 using rsf::sim::SimTime;
-using rsf::sim::Simulator;
+using runtime::FabricRuntime;
+using runtime::RuntimeConfig;
 using namespace rsf::sim::literals;
 
 struct EverythingOn {
-  Simulator sim;
-  Rack rack;
-  std::unique_ptr<core::CrcController> crc;
-  std::unique_ptr<workload::FlowGenerator> gen;
+  FabricRuntime rt;
+  workload::FlowGenerator* gen = nullptr;
   std::vector<std::unique_ptr<phy::BerDriver>> ber;
 
-  explicit EverythingOn(std::uint64_t seed) {
-    RackParams p;
-    p.width = 4;
-    p.height = 4;
-    p.lanes_per_cable = 4;
-    p.lanes_per_link = 2;
-    p.net_config.seed = seed;
-    rack = fabric::build_grid(&sim, p);
+  static RuntimeConfig config(std::uint64_t seed) {
+    RuntimeConfig cfg;
+    cfg.rack.width = 4;
+    cfg.rack.height = 4;
+    cfg.rack.lanes_per_cable = 4;
+    cfg.rack.lanes_per_link = 2;
+    cfg.rack.net_config.seed = seed;
+    cfg.crc.epoch = 150_us;
+    cfg.crc.enable_adaptive_fec = true;
+    cfg.crc.enable_power_manager = true;
+    cfg.crc.enable_health_manager = true;
+    cfg.crc.enable_auto_torus = true;
+    cfg.crc.torus_util_threshold = 0.3;
+    return cfg;
+  }
 
-    core::CrcConfig cfg;
-    cfg.epoch = 150_us;
-    cfg.enable_adaptive_fec = true;
-    cfg.enable_power_manager = true;
-    cfg.power.cap_watts = rack.total_power_watts() * 0.95;
-    cfg.enable_health_manager = true;
-    cfg.enable_auto_torus = true;
-    cfg.torus_util_threshold = 0.3;
-    crc = std::make_unique<core::CrcController>(&sim, rack.plant.get(), rack.engine.get(),
-                                                rack.topology.get(), rack.router.get(),
-                                                rack.network.get(), cfg);
-    crc->start();
+  explicit EverythingOn(std::uint64_t seed) : rt(config(seed)) {
+    // The cap depends on the built rack's draw; set it post-build.
+    rt.controller().power_manager().set_cap(rt.total_power_watts() * 0.95);
+    rt.start();
 
     workload::GeneratorConfig gen_cfg;
     gen_cfg.seed = seed;
     gen_cfg.mean_interarrival = 40_us;
     gen_cfg.horizon = 6_ms;
     gen_cfg.sizes = workload::SizeDistribution::heavy_tail(1.3, 2e3, 2e5);
-    gen = std::make_unique<workload::FlowGenerator>(
-        &sim, rack.network.get(), workload::TrafficMatrix::uniform(16), gen_cfg);
+    gen = &rt.add_generator(workload::TrafficMatrix::uniform(16), gen_cfg);
     gen->start();
 
     // A BER spike and a lane failure mid-run keep every manager busy.
     ber.push_back(std::make_unique<phy::BerDriver>(
-        &sim, rack.plant.get(), 0, phy::spike_ber(1e-12, 5e-5, 2_ms, 4_ms), 100_us));
+        &rt.sim(), &rt.plant(), 0, phy::spike_ber(1e-12, 5e-5, 2_ms, 4_ms), 100_us));
     ber.back()->start();
-    sim.schedule_at(3_ms, [this] {
-      rack.plant->fail_lane(phy::LaneRef{5, 0});
-    });
+    rt.sim().schedule_at(3_ms, [this] { rt.plant().fail_lane(phy::LaneRef{5, 0}); });
   }
 
   void run() {
-    sim.run_until(20_ms);
-    crc->stop();
+    rt.run_until(20_ms);
+    rt.stop();
     for (auto& d : ber) d->stop();
-    sim.run_until();
+    rt.run_until();
   }
 };
 
 TEST(Invariants, PacketConservationUnderFullChaos) {
   EverythingOn world(11);
   world.run();
-  const auto& c = world.rack.network->counters();
+  const auto& c = world.rt.network().counters();
   const std::uint64_t injected = c.get("net.packets_injected");
   const std::uint64_t delivered = c.get("net.packets_delivered");
   const std::uint64_t dropped = c.get("net.drops.no_route") +
@@ -99,7 +90,7 @@ TEST(Invariants, PacketConservationUnderFullChaos) {
 TEST(Invariants, FlowAccountingConsistent) {
   EverythingOn world(13);
   world.run();
-  const auto& net = *world.rack.network;
+  const auto& net = world.rt.network();
   EXPECT_EQ(net.flows_completed() + net.flows_failed(), world.gen->flows_generated());
   EXPECT_EQ(world.gen->results().size(), world.gen->flows_generated());
 }
@@ -107,15 +98,15 @@ TEST(Invariants, FlowAccountingConsistent) {
 TEST(Invariants, PlantValidAfterFullChaos) {
   EverythingOn world(17);
   world.run();
-  EXPECT_TRUE(world.rack.plant->validate().empty()) << world.rack.plant->validate();
+  EXPECT_TRUE(world.rt.plant().validate().empty()) << world.rt.plant().validate();
   // Lane conservation: owned + free + (possibly failed-free) = total.
   std::size_t owned = 0;
   std::size_t total = 0;
-  for (std::size_t c = 0; c < world.rack.plant->cable_count(); ++c) {
+  for (std::size_t c = 0; c < world.rt.plant().cable_count(); ++c) {
     const auto id = static_cast<phy::CableId>(c);
-    total += static_cast<std::size_t>(world.rack.plant->cable(id).lane_count());
-    owned += static_cast<std::size_t>(world.rack.plant->cable(id).lane_count()) -
-             world.rack.plant->free_lanes(id).size();
+    total += static_cast<std::size_t>(world.rt.plant().cable(id).lane_count());
+    owned += static_cast<std::size_t>(world.rt.plant().cable(id).lane_count()) -
+             world.rt.plant().free_lanes(id).size();
   }
   EXPECT_LE(owned, total);
   EXPECT_GT(owned, 0u);
@@ -125,9 +116,9 @@ TEST(Invariants, DeterministicUnderFullChaos) {
   auto fingerprint = [](std::uint64_t seed) {
     EverythingOn world(seed);
     world.run();
-    return std::make_tuple(world.sim.executed(),
-                           world.rack.network->packet_latency().mean(),
-                           world.rack.network->counters().to_string());
+    return std::make_tuple(world.rt.sim().executed(),
+                           world.rt.network().packet_latency().mean(),
+                           world.rt.network().counters().to_string());
   };
   const auto a = fingerprint(23);
   const auto b = fingerprint(23);
@@ -140,23 +131,24 @@ TEST(Invariants, NextHopStrictlyDecreasesDistance) {
   // Under any fixed price state, following next_hop from every node to
   // every destination must terminate (strictly decreasing remaining
   // cost) — the no-routing-cycle property.
-  Simulator sim;
-  RackParams p;
-  p.width = 5;
-  p.height = 5;
-  Rack rack = fabric::build_torus(&sim, p);
+  RuntimeConfig cfg;
+  cfg.shape = runtime::RackShape::kTorus;
+  cfg.rack.width = 5;
+  cfg.rack.height = 5;
+  cfg.enable_crc = false;
+  FabricRuntime rt(cfg);
   for (phy::NodeId dst = 0; dst < 25; ++dst) {
     for (phy::NodeId src = 0; src < 25; ++src) {
       if (src == dst) continue;
       phy::NodeId at = src;
       int steps = 0;
-      auto last_cost = rack.router->path_cost(at, dst);
+      auto last_cost = rt.router().path_cost(at, dst);
       ASSERT_TRUE(last_cost.has_value());
       while (at != dst && steps <= 25) {
-        const auto hop = rack.router->next_hop(at, dst);
+        const auto hop = rt.router().next_hop(at, dst);
         ASSERT_TRUE(hop.has_value()) << "stuck at " << at << " -> " << dst;
-        at = rack.plant->link(*hop).other_end(at);
-        const auto cost = rack.router->path_cost(at, dst);
+        at = rt.plant().link(*hop).other_end(at);
+        const auto cost = rt.router().path_cost(at, dst);
         ASSERT_TRUE(cost.has_value());
         EXPECT_LT(*cost, *last_cost + 1e-9);
         last_cost = cost;
@@ -170,11 +162,11 @@ TEST(Invariants, NextHopStrictlyDecreasesDistance) {
 TEST(Invariants, BusyTimeNeverExceedsWallClock) {
   EverythingOn world(31);
   world.run();
-  const double wall = world.sim.now().sec();
-  for (LinkId id : world.rack.plant->link_ids()) {
+  const double wall = world.rt.sim().now().sec();
+  for (LinkId id : world.rt.plant().link_ids()) {
     // Each direction can be busy at most the whole run; we track both
     // directions in one counter, so the bound is 2x.
-    EXPECT_LE(world.rack.network->link_busy_time(id).sec(), 2.0 * wall + 1e-9);
+    EXPECT_LE(world.rt.network().link_busy_time(id).sec(), 2.0 * wall + 1e-9);
   }
 }
 
