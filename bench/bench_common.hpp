@@ -51,4 +51,24 @@ inline RunMetrics collect(const workload::FlowGenerator& gen, const fabric::Netw
   return m;
 }
 
+/// Snapshot of a network's cumulative histograms at a phase boundary.
+/// Take one before a measurement window, then diff with `since()` for
+/// the window's own distribution — no mean*count arithmetic in benches.
+struct NetSnapshot {
+  telemetry::Histogram packet_latency;
+  telemetry::Histogram hop_counts;
+
+  [[nodiscard]] static NetSnapshot of(const fabric::Network& net) {
+    return {net.packet_latency().snapshot(), net.hop_counts().snapshot()};
+  }
+
+  /// Distribution of packets recorded since this snapshot was taken.
+  [[nodiscard]] telemetry::Histogram packets_since(const fabric::Network& net) const {
+    return net.packet_latency().since(packet_latency);
+  }
+  [[nodiscard]] telemetry::Histogram hops_since(const fabric::Network& net) const {
+    return net.hop_counts().since(hop_counts);
+  }
+};
+
 }  // namespace rsf::bench

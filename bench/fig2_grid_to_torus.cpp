@@ -42,20 +42,17 @@ PhaseMetrics snapshot_phase(runtime::FabricRuntime& rt, SimTime window) {
   cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(2));
   auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(rt.node_count()), cfg);
   auto& net = rt.network();
-  telemetry::Histogram pkt_before = net.packet_latency();
-  telemetry::Histogram hops_before = net.hop_counts();
+  const bench::NetSnapshot before = bench::NetSnapshot::of(net);
   gen.start(rt.now());
   rt.run_until(cfg.horizon + 5_ms);
 
   PhaseMetrics m;
-  telemetry::Histogram pkt_now = net.packet_latency();
-  m.mean_pkt_us = (pkt_now.mean() * pkt_now.count() - pkt_before.mean() * pkt_before.count()) /
-                  std::max<double>(1.0, pkt_now.count() - pkt_before.count()) * 1e-6;
-  m.p99_pkt_us = pkt_now.p99() * 1e-6;
-  telemetry::Histogram hops_now = net.hop_counts();
-  m.mean_hops =
-      (hops_now.mean() * hops_now.count() - hops_before.mean() * hops_before.count()) /
-      std::max<double>(1.0, hops_now.count() - hops_before.count());
+  const telemetry::Histogram pkt_window = before.packets_since(net);
+  m.mean_pkt_us = pkt_window.mean() * 1e-6;
+  // Window p99, not cumulative: the torus phase's tail must not be
+  // diluted by grid-phase samples still in the histogram.
+  m.p99_pkt_us = pkt_window.p99() * 1e-6;
+  m.mean_hops = before.hops_since(net).mean();
   const auto& params = rt.rack_params();
   m.corner_hops = rt.router().hop_count(rt.node_at(0, 0),
                                         rt.node_at(params.width - 1, params.height - 1));

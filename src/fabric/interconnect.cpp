@@ -1,0 +1,148 @@
+#include "fabric/interconnect.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace rsf::fabric {
+
+using rsf::sim::SimTime;
+
+namespace {
+/// Validated before the member initializers dereference it.
+telemetry::Registry& checked(telemetry::Registry* registry) {
+  if (registry == nullptr) throw std::invalid_argument("Interconnect: null registry");
+  return *registry;
+}
+}  // namespace
+
+Interconnect::Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* registry)
+    : sim_(sim),
+      counters_(checked(registry).counters("spine")),
+      transfer_latency_(registry->histogram("spine.transfer_latency")),
+      queue_delay_(registry->histogram("spine.queue_delay")) {
+  if (sim_ == nullptr) {
+    throw std::invalid_argument("Interconnect: null simulator");
+  }
+}
+
+SpineLinkId Interconnect::add_link(SpineLinkParams params) {
+  if (params.a.rack == params.b.rack) {
+    throw std::invalid_argument("Interconnect: spine link must join two racks");
+  }
+  if (params.rate.gbps_value() <= 0) {
+    throw std::invalid_argument("Interconnect: non-positive spine rate");
+  }
+  const auto id = static_cast<SpineLinkId>(links_.size());
+  max_rack_ = std::max({max_rack_, params.a.rack, params.b.rack});
+  links_.push_back(SpineLink{params, true, {}});
+  counters_.add("spine.links_added");
+  return id;
+}
+
+const Interconnect::SpineLink& Interconnect::at(SpineLinkId id) const {
+  if (id >= links_.size()) throw std::invalid_argument("Interconnect: unknown spine link");
+  return links_[id];
+}
+
+const SpineLinkParams& Interconnect::link(SpineLinkId id) const { return at(id).params; }
+
+void Interconnect::set_link_up(SpineLinkId id, bool up) {
+  at(id);  // validate
+  links_[id].up = up;
+  counters_.add(up ? "spine.links_restored" : "spine.links_failed");
+}
+
+bool Interconnect::link_up(SpineLinkId id) const { return at(id).up; }
+
+int Interconnect::direction_index(const SpineLink& l, std::uint32_t from_rack) const {
+  if (from_rack == l.params.a.rack) return 0;
+  if (from_rack == l.params.b.rack) return 1;
+  throw std::invalid_argument("Interconnect: rack is not an endpoint of the spine link");
+}
+
+const RackNode& Interconnect::far_end(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  return direction_index(l, from_rack) == 0 ? l.params.b : l.params.a;
+}
+
+std::optional<std::vector<SpineLinkId>> Interconnect::route(std::uint32_t src_rack,
+                                                            std::uint32_t dst_rack) const {
+  if (src_rack == dst_rack) return std::vector<SpineLinkId>{};
+  // Racks are few (a fleet is N racks, not N nodes): a fresh BFS per
+  // query is cheaper than keeping an adjacency index coherent.
+  const std::size_t racks = static_cast<std::size_t>(max_rack_) + 1;
+  if (src_rack >= racks || dst_rack >= racks) return std::nullopt;
+  constexpr SpineLinkId kNone = static_cast<SpineLinkId>(-1);
+  std::vector<SpineLinkId> via(racks, kNone);
+  std::vector<bool> seen(racks, false);
+  std::queue<std::uint32_t> frontier;
+  seen[src_rack] = true;
+  frontier.push(src_rack);
+  while (!frontier.empty() && !seen[dst_rack]) {
+    const std::uint32_t rack = frontier.front();
+    frontier.pop();
+    // Link ids ascend, so the first edge reaching a rack is the
+    // lowest-id edge at the shortest depth: deterministic ties.
+    for (SpineLinkId id = 0; id < links_.size(); ++id) {
+      const SpineLink& l = links_[id];
+      if (!l.up) continue;
+      std::uint32_t next;
+      if (l.params.a.rack == rack) {
+        next = l.params.b.rack;
+      } else if (l.params.b.rack == rack) {
+        next = l.params.a.rack;
+      } else {
+        continue;
+      }
+      if (seen[next]) continue;
+      seen[next] = true;
+      via[next] = id;
+      frontier.push(next);
+    }
+  }
+  if (!seen[dst_rack]) return std::nullopt;
+  std::vector<SpineLinkId> path;
+  for (std::uint32_t rack = dst_rack; rack != src_rack;) {
+    const SpineLinkId id = via[rack];
+    path.push_back(id);
+    const SpineLink& l = links_[id];
+    rack = l.params.a.rack == rack ? l.params.b.rack : l.params.a.rack;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool Interconnect::transfer(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
+                            DeliveryCallback cb) {
+  const SpineLink& l = at(id);
+  const int d = direction_index(l, from_rack);
+  if (!l.up) {
+    counters_.add("spine.transfers_refused");
+    return false;
+  }
+  Direction& dir = links_[id].dir[d];
+  const SimTime now = sim_->now();
+  const SimTime start = std::max(now, dir.busy_until);
+  const SimTime serialization = phy::transmission_time(size, l.params.rate);
+  dir.busy_until = start + serialization;
+  dir.busy_total += serialization;
+  const SimTime arrival = dir.busy_until + l.params.latency;
+  counters_.add("spine.transfers");
+  counters_.add("spine.bytes",
+                static_cast<std::uint64_t>(std::max<std::int64_t>(0, size.bit_count() / 8)));
+  queue_delay_.record(start - now);
+  transfer_latency_.record(arrival - now);
+  if (cb) {
+    sim_->schedule_at(arrival, [cb = std::move(cb), arrival] { cb(arrival); });
+  }
+  return true;
+}
+
+SimTime Interconnect::busy_time(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  return l.dir[direction_index(l, from_rack)].busy_total;
+}
+
+}  // namespace rsf::fabric

@@ -1,0 +1,115 @@
+// rsf::fabric — the inter-rack spine.
+//
+// An Interconnect models the links *between* racks of a fleet: spine
+// cables with a configurable rate and propagation latency, each
+// connecting a designated gateway node in one rack to a gateway node
+// in another. The spine is deliberately coarser than the intra-rack
+// fabric — a transfer occupies a spine direction for its serialization
+// time (busy-until FIFO arithmetic, the same model Network uses for
+// switch ports) and arrives one propagation latency later. Rack-level
+// routing is shortest-path over the rack graph, skipping
+// administratively-down links so spine-failure scenarios reroute.
+//
+// Metrics land in the owning registry under "spine.*".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "phy/types.hpp"
+#include "phy/units.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
+
+namespace rsf::fabric {
+
+/// A (rack, node) address in a multi-rack fleet.
+struct RackNode {
+  std::uint32_t rack = 0;
+  phy::NodeId node = phy::kInvalidNode;
+
+  friend bool operator==(const RackNode&, const RackNode&) = default;
+};
+
+using SpineLinkId = std::uint32_t;
+
+struct SpineLinkParams {
+  /// The two gateway endpoints. a.rack != b.rack.
+  RackNode a;
+  RackNode b;
+  phy::DataRate rate = phy::DataRate::gbps(400);
+  /// One-way propagation between the racks (spine cables are long).
+  rsf::sim::SimTime latency = rsf::sim::SimTime::microseconds(1);
+};
+
+class Interconnect {
+ public:
+  /// cb(arrival): the transfer's last bit reaches the far gateway.
+  using DeliveryCallback = std::function<void(rsf::sim::SimTime arrival)>;
+
+  /// Metrics go to `registry` under "spine.*" (never null; the
+  /// FleetRuntime hands the fleet registry in).
+  Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* registry);
+
+  Interconnect(const Interconnect&) = delete;
+  Interconnect& operator=(const Interconnect&) = delete;
+
+  SpineLinkId add_link(SpineLinkParams params);
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const SpineLinkParams& link(SpineLinkId id) const;
+
+  /// Administrative state: a down spine link carries nothing and is
+  /// invisible to route(). Opens the spine-failure scenario family.
+  void set_link_up(SpineLinkId id, bool up);
+  [[nodiscard]] bool link_up(SpineLinkId id) const;
+
+  /// The far endpoint of `id` as seen from `from_rack`.
+  [[nodiscard]] const RackNode& far_end(SpineLinkId id, std::uint32_t from_rack) const;
+
+  /// Shortest up-link path src_rack -> dst_rack over the rack graph
+  /// (BFS, fewest spine hops; ties break on lowest link id for
+  /// determinism). nullopt when unreachable; empty when src == dst.
+  [[nodiscard]] std::optional<std::vector<SpineLinkId>> route(std::uint32_t src_rack,
+                                                              std::uint32_t dst_rack) const;
+
+  /// Occupy `id` in the direction leaving `from_rack` for `size`
+  /// bytes: FIFO serialization at the link rate, then propagation.
+  /// `cb` fires at arrival. Returns false (no callback) when the link
+  /// is down.
+  bool transfer(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
+                DeliveryCallback cb);
+
+  /// Cumulative time direction (`id`, leaving `from_rack`) has spent
+  /// serializing — the spine utilisation input for future controllers.
+  [[nodiscard]] rsf::sim::SimTime busy_time(SpineLinkId id, std::uint32_t from_rack) const;
+
+  [[nodiscard]] const telemetry::CounterSet& counters() const { return counters_; }
+
+ private:
+  struct Direction {
+    rsf::sim::SimTime busy_until = rsf::sim::SimTime::zero();
+    rsf::sim::SimTime busy_total = rsf::sim::SimTime::zero();
+  };
+  struct SpineLink {
+    SpineLinkParams params;
+    bool up = true;
+    Direction dir[2];  // [0]: a->b, [1]: b->a
+  };
+
+  [[nodiscard]] const SpineLink& at(SpineLinkId id) const;
+  /// 0 when leaving params.a.rack, 1 when leaving params.b.rack.
+  [[nodiscard]] int direction_index(const SpineLink& l, std::uint32_t from_rack) const;
+
+  rsf::sim::Simulator* sim_;
+  std::vector<SpineLink> links_;
+  std::uint32_t max_rack_ = 0;
+  telemetry::CounterSet& counters_;
+  telemetry::Histogram& transfer_latency_;
+  telemetry::Histogram& queue_delay_;
+};
+
+}  // namespace rsf::fabric

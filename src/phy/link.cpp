@@ -106,7 +106,7 @@ double LogicalLink::power_watts() const {
   return w;
 }
 
-bool LogicalLink::ready() const {
+bool LogicalLink::compute_ready() const {
   for (const LinkSegment& seg : segments_) {
     const Cable& c = plant_->cable(seg.cable);
     for (int lane : seg.lanes) {

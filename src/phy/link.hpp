@@ -83,7 +83,13 @@ class LogicalLink {
   [[nodiscard]] double power_watts() const;
 
   /// True when every member lane is up (link can carry traffic).
-  [[nodiscard]] bool ready() const;
+  /// Cached: lane state only changes through PhysicalPlant mutators,
+  /// which invalidate the cache — so the per-hop usability check is a
+  /// flag read, not a lane scan.
+  [[nodiscard]] bool ready() const {
+    if (ready_cache_ < 0) ready_cache_ = compute_ready() ? 1 : 0;
+    return ready_cache_ != 0;
+  }
 
   /// Reservation: a link handed to one flow as a dedicated circuit.
   /// Reserved links are invisible to general routing; only the owning
@@ -96,6 +102,11 @@ class LogicalLink {
  private:
   friend class PhysicalPlant;
   std::optional<std::uint64_t> reserved_for_;
+
+  [[nodiscard]] bool compute_ready() const;
+  /// Called by the plant whenever a member lane's state may have
+  /// changed (training transitions, power-off, hard failure/repair).
+  void invalidate_ready() const { ready_cache_ = -1; }
 
   /// Drop every cache derived from fec_. Lane rates, cable lengths and
   /// the segment chain are immutable for a link's lifetime, so the
@@ -130,6 +141,8 @@ class LogicalLink {
   };
   mutable std::array<LossMemo, 4> loss_memo_{};
   mutable unsigned loss_memo_next_ = 0;
+  /// -1 unknown, else 0/1. See ready().
+  mutable std::int8_t ready_cache_ = -1;
 };
 
 }  // namespace rsf::phy

@@ -275,15 +275,21 @@ void PhysicalPlant::for_each_lane(const LogicalLink& l,
 }
 
 void PhysicalPlant::lane_begin_training(LinkId id) {
-  for_each_lane(mutable_link(id), [](Lane& l) { l.begin_training(); });
+  LogicalLink& l = mutable_link(id);
+  for_each_lane(l, [](Lane& lane) { lane.begin_training(); });
+  l.invalidate_ready();
 }
 
 void PhysicalPlant::lane_complete_training(LinkId id) {
-  for_each_lane(mutable_link(id), [](Lane& l) { l.complete_training(); });
+  LogicalLink& l = mutable_link(id);
+  for_each_lane(l, [](Lane& lane) { lane.complete_training(); });
+  l.invalidate_ready();
 }
 
 void PhysicalPlant::lane_power_off(LinkId id) {
-  for_each_lane(mutable_link(id), [](Lane& l) { l.power_off(); });
+  LogicalLink& l = mutable_link(id);
+  for_each_lane(l, [](Lane& lane) { lane.power_off(); });
+  l.invalidate_ready();
 }
 
 void PhysicalPlant::set_fec(LinkId id, FecSpec fec) {
@@ -361,11 +367,13 @@ void PhysicalPlant::set_cable_ber(CableId id, double ber) {
 
 void PhysicalPlant::fail_lane(LaneRef ref) {
   cable(ref.cable).lane(ref.lane).fail();
+  if (const auto owner = lane_owner(ref)) mutable_link(*owner).invalidate_ready();
   for (const auto& obs : change_observers_) obs();
 }
 
 void PhysicalPlant::repair_lane(LaneRef ref) {
   cable(ref.cable).lane(ref.lane).repair();
+  if (const auto owner = lane_owner(ref)) mutable_link(*owner).invalidate_ready();
   for (const auto& obs : change_observers_) obs();
 }
 

@@ -50,7 +50,7 @@ void PlpEngine::try_execute(Pending pending) {
   const bool intrusive = !std::holds_alternative<QueryStatsCommand>(pending.cmd);
   if (intrusive) {
     for (phy::LinkId id : referenced_links(pending.cmd)) {
-      if (busy_.contains(id)) {
+      if (link_busy(id)) {
         queue_.push_back(std::move(pending));
         return;
       }
@@ -117,8 +117,8 @@ void PlpEngine::drain_queue() {
       bool blocked = false;
       bool dead = false;
       for (phy::LinkId id : referenced_links(it->cmd)) {
-        if (busy_.contains(id)) blocked = true;
-        if (!plant_->has_link(id) && !busy_.contains(id)) dead = true;
+        if (link_busy(id)) blocked = true;
+        if (!plant_->has_link(id) && !link_busy(id)) dead = true;
       }
       if (dead) {
         Pending p = std::move(*it);
@@ -139,11 +139,16 @@ void PlpEngine::drain_queue() {
 }
 
 void PlpEngine::mark_busy(const std::vector<phy::LinkId>& links) {
-  for (phy::LinkId id : links) busy_.insert(id);
+  for (phy::LinkId id : links) {
+    if (id >= busy_.size()) busy_.resize(id + 1, false);
+    busy_[id] = true;
+  }
 }
 
 void PlpEngine::clear_busy(const std::vector<phy::LinkId>& links) {
-  for (phy::LinkId id : links) busy_.erase(id);
+  for (phy::LinkId id : links) {
+    if (id < busy_.size()) busy_[id] = false;
+  }
 }
 
 void PlpEngine::notify_topology(const std::vector<phy::LinkId>& removed,
@@ -400,7 +405,7 @@ LinkStatsReport PlpEngine::stats_report(phy::LinkId id) const {
   report.post_fec_ber = l.post_fec_ber();
   report.power_watts = l.power_watts();
   report.propagation = l.propagation_delay();
-  report.ready = l.ready() && !busy_.contains(id);
+  report.ready = l.ready() && !link_busy(id);
   std::uint64_t bits = 0;
   for (const phy::LinkSegment& seg : l.segments()) {
     const phy::Cable& c = plant_->cable(seg.cable);

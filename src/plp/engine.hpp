@@ -14,7 +14,6 @@
 
 #include <deque>
 #include <functional>
-#include <set>
 #include <vector>
 
 #include "phy/plant.hpp"
@@ -86,7 +85,12 @@ class PlpEngine {
     readiness_observers_.push_back(std::move(obs));
   }
 
-  [[nodiscard]] bool link_busy(phy::LinkId id) const { return busy_.contains(id); }
+  /// O(1): links under actuation are tracked in a dense bitmap (link
+  /// ids are small sequential integers) — this sits on the per-hop
+  /// Topology::usable() path.
+  [[nodiscard]] bool link_busy(phy::LinkId id) const {
+    return id < busy_.size() && busy_[id];
+  }
   [[nodiscard]] std::size_t queued_commands() const { return queue_.size(); }
   [[nodiscard]] std::size_t inflight_commands() const { return inflight_; }
   [[nodiscard]] const PlpTimings& timings() const { return timings_; }
@@ -131,7 +135,9 @@ class PlpEngine {
   phy::PhysicalPlant* plant_;
   PlpTimings timings_;
   PlpCapabilities caps_;
-  std::set<phy::LinkId> busy_;
+  // Dense busy bitmap indexed by LinkId (ids are sequential, never
+  // reused); grown on demand by mark_busy.
+  std::vector<bool> busy_;
   std::deque<Pending> queue_;
   std::size_t inflight_ = 0;
   std::vector<TopologyObserver> topo_observers_;

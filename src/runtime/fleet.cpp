@@ -1,0 +1,191 @@
+#include "runtime/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rsf::runtime {
+
+using rsf::sim::SimTime;
+
+FleetRuntime::FleetRuntime(FleetConfig config) : config_(std::move(config)) {
+  if (config_.racks.empty()) {
+    throw std::invalid_argument("FleetRuntime: need at least one rack");
+  }
+  racks_.reserve(config_.racks.size());
+  for (const RackSpec& spec : config_.racks) {
+    racks_.push_back(std::make_unique<FabricRuntime>(&sim_, spec.config));
+  }
+  for (std::size_t i = 0; i < config_.racks.size(); ++i) {
+    const phy::NodeId gw = config_.racks[i].gateway;
+    if (gw >= racks_[i]->node_count()) {
+      throw std::invalid_argument("FleetRuntime: gateway outside rack " + std::to_string(i));
+    }
+  }
+  spine_ = std::make_unique<fabric::Interconnect>(&sim_, &registry_);
+  for (const SpineSpec& s : config_.spine) {
+    if (s.rack_a >= racks_.size() || s.rack_b >= racks_.size()) {
+      throw std::invalid_argument("FleetRuntime: spine link references unknown rack");
+    }
+    fabric::SpineLinkParams p;
+    p.a = {s.rack_a, s.gateway_a == phy::kInvalidNode ? gateway(s.rack_a) : s.gateway_a};
+    p.b = {s.rack_b, s.gateway_b == phy::kInvalidNode ? gateway(s.rack_b) : s.gateway_b};
+    if (p.a.node >= racks_[s.rack_a]->node_count() ||
+        p.b.node >= racks_[s.rack_b]->node_count()) {
+      throw std::invalid_argument("FleetRuntime: spine gateway outside its rack");
+    }
+    p.rate = s.rate;
+    p.latency = s.latency;
+    spine_->add_link(p);
+  }
+}
+
+FabricRuntime& FleetRuntime::rack(std::size_t i) {
+  if (i >= racks_.size()) throw std::out_of_range("FleetRuntime: unknown rack");
+  return *racks_[i];
+}
+
+phy::NodeId FleetRuntime::gateway(std::uint32_t rack) const {
+  if (rack >= config_.racks.size()) throw std::out_of_range("FleetRuntime: unknown rack");
+  return config_.racks[rack].gateway;
+}
+
+fabric::RackNode FleetRuntime::at(std::uint32_t rack_idx, int x, int y) {
+  return {rack_idx, rack(rack_idx).node_at(x, y)};
+}
+
+void FleetRuntime::start() {
+  for (auto& r : racks_) r->start();
+}
+
+void FleetRuntime::stop() {
+  for (auto& r : racks_) r->stop();
+}
+
+void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_complete) {
+  if (spec.src.rack >= racks_.size() || spec.dst.rack >= racks_.size()) {
+    throw std::invalid_argument("FleetRuntime: flow references unknown rack");
+  }
+  if (spec.src.node >= racks_[spec.src.rack]->node_count() ||
+      spec.dst.node >= racks_[spec.dst.rack]->node_count()) {
+    throw std::invalid_argument("FleetRuntime: flow endpoint outside its rack");
+  }
+  // Fail at the call site, not from inside a leg's event handler.
+  if (spec.size.bit_count() <= 0 || spec.packet_size.bit_count() <= 0) {
+    throw std::invalid_argument("FleetRuntime: non-positive flow sizes");
+  }
+  FleetFlowState state;
+  state.spec = spec;
+  state.on_complete = std::move(on_complete);
+  state.at = spec.src;
+  const auto idx = static_cast<std::uint32_t>(flows_.size());
+  flows_.push_back(std::move(state));
+  sim_.schedule_at(std::max(spec.start, sim_.now()), [this, idx] {
+    FleetFlowState& f = flows_[idx];
+    f.started = sim_.now();
+    const auto path = spine_->route(f.spec.src.rack, f.spec.dst.rack);
+    if (!path) {  // no usable spine path
+      finish_fleet_flow(idx, true);
+      return;
+    }
+    f.path = *path;
+    advance(idx);
+  });
+}
+
+/// Move the payload one stage further: the next intra-rack leg toward
+/// the current rack's exit gateway (or the final destination), else
+/// the next spine crossing, else done.
+void FleetRuntime::advance(std::uint32_t flow_idx) {
+  FleetFlowState& f = flows_[flow_idx];
+  if (f.next_hop < f.path.size()) {
+    const fabric::SpineLinkId hop = f.path[f.next_hop];
+    const fabric::RackNode exit = f.at.rack == spine_->link(hop).a.rack
+                                      ? spine_->link(hop).a
+                                      : spine_->link(hop).b;
+    if (f.at.node != exit.node) {
+      run_rack_leg(flow_idx, exit.node);
+      return;
+    }
+    const std::uint32_t from_rack = f.at.rack;
+    const bool ok = spine_->transfer(hop, from_rack, f.spec.size, [this, flow_idx](SimTime) {
+      advance(flow_idx);
+    });
+    if (!ok) {  // spine link went down since routing
+      finish_fleet_flow(flow_idx, true);
+      return;
+    }
+    ++f.next_hop;
+    ++f.spine_hops;
+    f.at = spine_->far_end(hop, from_rack);
+    return;
+  }
+  if (f.at.node != f.spec.dst.node) {
+    run_rack_leg(flow_idx, f.spec.dst.node);
+    return;
+  }
+  finish_fleet_flow(flow_idx, false);
+}
+
+void FleetRuntime::run_rack_leg(std::uint32_t flow_idx, phy::NodeId to) {
+  FleetFlowState& f = flows_[flow_idx];
+  fabric::FlowSpec leg;
+  leg.id = next_leg_id_++;
+  leg.src = f.at.node;
+  leg.dst = to;
+  leg.size = f.spec.size;
+  leg.packet_size = f.spec.packet_size;
+  leg.start = sim_.now();
+  ++f.rack_legs;
+  racks_[f.at.rack]->network().start_flow(
+      leg, [this, flow_idx, to](const fabric::FlowResult& r) {
+        if (r.failed) {
+          finish_fleet_flow(flow_idx, true);
+          return;
+        }
+        flows_[flow_idx].at.node = to;
+        advance(flow_idx);
+      });
+}
+
+void FleetRuntime::finish_fleet_flow(std::uint32_t flow_idx, bool failed) {
+  FleetFlowState& f = flows_[flow_idx];
+  FleetFlowResult result;
+  result.spec = f.spec;
+  result.started = f.started;
+  result.finished = sim_.now();
+  result.rack_legs = f.rack_legs;
+  result.spine_hops = f.spine_hops;
+  result.failed = failed;
+  (failed ? flows_failed_ : flows_completed_)++;
+  if (f.on_complete) {
+    // Detach the callback before invoking: it may start new fleet
+    // flows and grow flows_, invalidating f.
+    FleetFlowCallback cb = std::move(f.on_complete);
+    cb(result);
+  }
+}
+
+workload::CrossRackShuffle& FleetRuntime::add_shuffle(workload::CrossRackShuffleConfig cfg) {
+  shuffles_.push_back(std::make_unique<workload::CrossRackShuffle>(this, std::move(cfg)));
+  return *shuffles_.back();
+}
+
+workload::CrossRackIncast& FleetRuntime::add_incast(workload::CrossRackIncastConfig cfg) {
+  incasts_.push_back(std::make_unique<workload::CrossRackIncast>(this, std::move(cfg)));
+  return *incasts_.back();
+}
+
+telemetry::Registry& FleetRuntime::metrics() {
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    registry_.import_prefixed(racks_[i]->metrics(), "rack" + std::to_string(i) + ".");
+  }
+  return registry_;
+}
+
+telemetry::Table FleetRuntime::metrics_table() {
+  return metrics().to_table("fleet metrics");
+}
+
+}  // namespace rsf::runtime

@@ -1,0 +1,169 @@
+// rsf::runtime — the FleetRuntime: multi-rack sharded simulation.
+//
+// A FleetRuntime owns N FabricRuntime shards (one rack each, every
+// rack independently configured — grid here, torus there, a ring of
+// storage nodes in the corner), wires their gateway nodes together
+// through an Interconnect of spine links, and drives everything from
+// ONE shared Simulator clock, so cross-rack causality is exact and
+// runs stay bit-for-bit deterministic.
+//
+// Cross-rack flows are staged: an intra-rack flow carries the bytes
+// from the source to its rack's gateway, the spine serializes them to
+// the next rack's gateway (store-and-forward at gateways — spine
+// transfers are bulk, not per-packet cut-through), and a final
+// intra-rack flow delivers them to the destination; multi-hop spine
+// paths chain gateway-to-gateway legs through intermediate racks.
+// Same-rack (src.rack == dst.rack) flows collapse to a plain Network
+// flow, so a 1-shard fleet is behaviourally identical to a standalone
+// FabricRuntime.
+//
+// Telemetry: the fleet registry holds "spine.*" live, and metrics()
+// snapshots every shard's registry into it under "rack<N>." prefixes
+// ("rack0.net.packet_latency", "rack2.crc.rack_power_w") — one table
+// for the whole fleet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/interconnect.hpp"
+#include "runtime/runtime.hpp"
+#include "workload/crossrack.hpp"
+
+namespace rsf::runtime {
+
+struct RackSpec {
+  RuntimeConfig config;
+  /// Spine attach point used when a SpineSpec doesn't name one.
+  phy::NodeId gateway = 0;
+};
+
+struct SpineSpec {
+  std::uint32_t rack_a = 0;
+  std::uint32_t rack_b = 0;
+  /// Gateway overrides; kInvalidNode means "the rack's default".
+  phy::NodeId gateway_a = phy::kInvalidNode;
+  phy::NodeId gateway_b = phy::kInvalidNode;
+  phy::DataRate rate = phy::DataRate::gbps(400);
+  rsf::sim::SimTime latency = rsf::sim::SimTime::microseconds(1);
+};
+
+struct FleetConfig {
+  std::vector<RackSpec> racks;
+  std::vector<SpineSpec> spine;
+};
+
+/// A fleet-level flow: size bytes from src to dst, possibly crossing
+/// the spine. Ids are caller bookkeeping (results echo them); the
+/// intra-rack legs draw from a reserved per-network id space.
+struct FleetFlowSpec {
+  fabric::FlowId id = 1;
+  fabric::RackNode src;
+  fabric::RackNode dst;
+  phy::DataSize size = phy::DataSize::kilobytes(64);
+  phy::DataSize packet_size = phy::DataSize::bytes(1024);
+  rsf::sim::SimTime start = rsf::sim::SimTime::zero();
+};
+
+struct FleetFlowResult {
+  FleetFlowSpec spec;
+  rsf::sim::SimTime started = rsf::sim::SimTime::zero();
+  rsf::sim::SimTime finished = rsf::sim::SimTime::zero();
+  /// Intra-rack legs run and spine links crossed.
+  int rack_legs = 0;
+  int spine_hops = 0;
+  bool failed = false;
+
+  [[nodiscard]] rsf::sim::SimTime completion_time() const { return finished - started; }
+};
+
+class FleetRuntime {
+ public:
+  using FleetFlowCallback = std::function<void(const FleetFlowResult&)>;
+
+  /// Leg flows injected into shard networks use ids at and above this
+  /// base; experiment flows on the same networks must stay below it.
+  static constexpr fabric::FlowId kLegFlowBase = fabric::FlowId{1} << 62;
+
+  explicit FleetRuntime(FleetConfig config);
+
+  FleetRuntime(const FleetRuntime&) = delete;
+  FleetRuntime& operator=(const FleetRuntime&) = delete;
+
+  // --- the sharded stack ---
+
+  [[nodiscard]] rsf::sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
+  [[nodiscard]] FabricRuntime& rack(std::size_t i);
+  [[nodiscard]] fabric::Interconnect& spine() { return *spine_; }
+  [[nodiscard]] phy::NodeId gateway(std::uint32_t rack) const;
+  /// Convenience (rack, node_at(x, y)) address.
+  [[nodiscard]] fabric::RackNode at(std::uint32_t rack, int x, int y);
+
+  // --- control ---
+
+  /// Arm every rack's CRC epoch loop (racks without one no-op).
+  void start();
+  void stop();
+  std::size_t run_until(rsf::sim::SimTime until = rsf::sim::SimTime::infinity()) {
+    return sim_.run_until(until);
+  }
+  [[nodiscard]] rsf::sim::SimTime now() const { return sim_.now(); }
+
+  // --- cross-rack transport ---
+
+  /// Start a fleet flow; the callback fires when the last leg lands
+  /// (or on the first failed leg / no spine route).
+  void start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_complete = nullptr);
+
+  // --- workloads (owned by the fleet, destroyed with it) ---
+
+  workload::CrossRackShuffle& add_shuffle(workload::CrossRackShuffleConfig cfg);
+  workload::CrossRackIncast& add_incast(workload::CrossRackIncastConfig cfg);
+
+  // --- telemetry ---
+
+  /// The fleet registry: "spine.*" live, plus a fresh "rack<N>.*"
+  /// snapshot of every shard taken by this call. Prefixed entries are
+  /// refreshed in place, so instrument references stay valid across
+  /// calls (they are snapshots — re-call after running further).
+  [[nodiscard]] telemetry::Registry& metrics();
+  /// One table with every rack's and the spine's instruments.
+  [[nodiscard]] telemetry::Table metrics_table();
+
+  [[nodiscard]] std::uint64_t flows_completed() const { return flows_completed_; }
+  [[nodiscard]] std::uint64_t flows_failed() const { return flows_failed_; }
+
+ private:
+  struct FleetFlowState {
+    FleetFlowSpec spec;
+    FleetFlowCallback on_complete;
+    /// Remaining spine links, in crossing order.
+    std::vector<fabric::SpineLinkId> path;
+    std::size_t next_hop = 0;
+    fabric::RackNode at;  // current position of the payload
+    rsf::sim::SimTime started = rsf::sim::SimTime::zero();
+    int rack_legs = 0;
+    int spine_hops = 0;
+  };
+
+  void advance(std::uint32_t flow_idx);
+  void run_rack_leg(std::uint32_t flow_idx, phy::NodeId to);
+  void finish_fleet_flow(std::uint32_t flow_idx, bool failed);
+
+  FleetConfig config_;
+  rsf::sim::Simulator sim_;
+  // Declared before the racks/spine: spine instruments point here.
+  telemetry::Registry registry_;
+  std::vector<std::unique_ptr<FabricRuntime>> racks_;
+  std::unique_ptr<fabric::Interconnect> spine_;
+  std::vector<FleetFlowState> flows_;  // dense, append-only per run
+  fabric::FlowId next_leg_id_ = kLegFlowBase;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_failed_ = 0;
+  std::vector<std::unique_ptr<workload::CrossRackShuffle>> shuffles_;
+  std::vector<std::unique_ptr<workload::CrossRackIncast>> incasts_;
+};
+
+}  // namespace rsf::runtime

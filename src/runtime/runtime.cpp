@@ -28,12 +28,24 @@ fabric::Rack build_rack(rsf::sim::Simulator* sim, const RuntimeConfig& config,
 }  // namespace
 
 FabricRuntime::FabricRuntime(RuntimeConfig config)
-    : config_(std::move(config)), rack_(build_rack(&sim_, config_, &registry_)) {
-  if (config_.enable_crc) {
-    crc_ = std::make_unique<core::CrcController>(
-        &sim_, rack_.plant.get(), rack_.engine.get(), rack_.topology.get(),
-        rack_.router.get(), rack_.network.get(), config_.crc, &registry_);
-  }
+    : config_(std::move(config)),
+      own_sim_(std::make_unique<rsf::sim::Simulator>()),
+      sim_(own_sim_.get()),
+      rack_(build_rack(sim_, config_, &registry_)) {
+  init_crc();
+}
+
+FabricRuntime::FabricRuntime(rsf::sim::Simulator* sim, RuntimeConfig config)
+    : config_(std::move(config)), sim_(sim), rack_(build_rack(sim_, config_, &registry_)) {
+  // build_rack already rejected a null simulator.
+  init_crc();
+}
+
+void FabricRuntime::init_crc() {
+  if (!config_.enable_crc) return;
+  crc_ = std::make_unique<core::CrcController>(
+      sim_, rack_.plant.get(), rack_.engine.get(), rack_.topology.get(),
+      rack_.router.get(), rack_.network.get(), config_.crc, &registry_);
 }
 
 core::CrcController& FabricRuntime::controller() {
@@ -56,13 +68,13 @@ void FabricRuntime::stop() {
 workload::FlowGenerator& FabricRuntime::add_generator(workload::TrafficMatrix matrix,
                                                       workload::GeneratorConfig cfg) {
   generators_.push_back(std::make_unique<workload::FlowGenerator>(
-      &sim_, rack_.network.get(), std::move(matrix), cfg));
+      sim_, rack_.network.get(), std::move(matrix), cfg));
   return *generators_.back();
 }
 
 workload::ShuffleJob& FabricRuntime::add_shuffle(workload::ShuffleConfig cfg) {
   shuffles_.push_back(
-      std::make_unique<workload::ShuffleJob>(&sim_, rack_.network.get(), std::move(cfg)));
+      std::make_unique<workload::ShuffleJob>(sim_, rack_.network.get(), std::move(cfg)));
   return *shuffles_.back();
 }
 

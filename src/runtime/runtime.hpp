@@ -49,12 +49,17 @@ class FabricRuntime {
  public:
   explicit FabricRuntime(RuntimeConfig config = {});
 
+  /// Shard constructor: build the rack on an external (shared) clock.
+  /// `sim` must outlive the runtime. This is how a FleetRuntime drives
+  /// N racks from one Simulator; a standalone runtime owns its own.
+  FabricRuntime(rsf::sim::Simulator* sim, RuntimeConfig config);
+
   FabricRuntime(const FabricRuntime&) = delete;
   FabricRuntime& operator=(const FabricRuntime&) = delete;
 
   // --- the wired stack ---
 
-  [[nodiscard]] rsf::sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] rsf::sim::Simulator& sim() { return *sim_; }
   [[nodiscard]] phy::PhysicalPlant& plant() { return *rack_.plant; }
   [[nodiscard]] plp::PlpEngine& engine() { return *rack_.engine; }
   [[nodiscard]] fabric::Topology& topology() { return *rack_.topology; }
@@ -85,11 +90,12 @@ class FabricRuntime {
   /// Stop the CRC (no-op without one / when not running).
   void stop();
   /// Drain events until `until` (or until idle with no horizon). Runs
-  /// the simulation this runtime owns; returns events processed.
+  /// the simulation this runtime schedules on (note: with an external
+  /// simulator this drives the shared clock); returns events processed.
   std::size_t run_until(rsf::sim::SimTime until = rsf::sim::SimTime::infinity()) {
-    return sim_.run_until(until);
+    return sim_->run_until(until);
   }
-  [[nodiscard]] rsf::sim::SimTime now() const { return sim_.now(); }
+  [[nodiscard]] rsf::sim::SimTime now() const { return sim_->now(); }
 
   // --- workloads (owned by the runtime, destroyed with it) ---
 
@@ -98,8 +104,13 @@ class FabricRuntime {
   workload::ShuffleJob& add_shuffle(workload::ShuffleConfig cfg);
 
  private:
+  void init_crc();
+
   RuntimeConfig config_;
-  rsf::sim::Simulator sim_;
+  // Owned only when constructed standalone; sim_ always points at the
+  // clock the whole stack schedules on.
+  std::unique_ptr<rsf::sim::Simulator> own_sim_;
+  rsf::sim::Simulator* sim_;
   // Declared before the rack: component metric references point here.
   telemetry::Registry registry_;
   fabric::Rack rack_;

@@ -93,6 +93,41 @@ void Histogram::merge(const Histogram& other) {
 
 void Histogram::reset() { *this = Histogram(); }
 
+Histogram Histogram::since(const Histogram& earlier) const {
+  Histogram d;
+  if (count_ <= earlier.count_) return d;  // empty window (or not a predecessor)
+  d.count_ = count_ - earlier.count_;
+  d.sum_ = sum_ - earlier.sum_;
+  d.sum_sq_ = std::max(0.0, sum_sq_ - earlier.sum_sq_);
+  // Clamped subtraction throughout: if `earlier` is unrelated rather
+  // than a true predecessor, the result is a best-effort diff instead
+  // of unsigned wraparound garbage.
+  d.zero_or_negative_ = zero_or_negative_ >= earlier.zero_or_negative_
+                            ? zero_or_negative_ - earlier.zero_or_negative_
+                            : 0;
+  d.buckets_.resize(buckets_.size(), 0);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t before = i < earlier.buckets_.size() ? earlier.buckets_[i] : 0;
+    d.buckets_[i] = buckets_[i] >= before ? buckets_[i] - before : 0;
+  }
+  // Window extremes at bucket resolution: the edges of the outermost
+  // buckets that gained samples.
+  d.min_ = 0.0;
+  d.max_ = 0.0;
+  if (d.zero_or_negative_ > 0) d.min_ = std::min(min_, 0.0);
+  bool min_set = d.zero_or_negative_ > 0;
+  for (std::size_t i = 0; i < d.buckets_.size(); ++i) {
+    if (d.buckets_[i] == 0) continue;
+    if (!min_set) {
+      d.min_ = i == 0 ? std::max(min_, 0.0) : bucket_upper_edge(i - 1);
+      min_set = true;
+    }
+    d.max_ = std::min(max_, bucket_upper_edge(i));
+  }
+  if (d.max_ == 0.0) d.max_ = std::min(max_, 1.0);  // all window samples below 1
+  return d;
+}
+
 namespace {
 std::string fmt_time_ps(double ps) {
   return rsf::sim::SimTime::picoseconds(static_cast<std::int64_t>(ps)).to_string();

@@ -40,6 +40,17 @@ class Histogram {
   void merge(const Histogram& other);
   void reset();
 
+  /// A copy of the current state, for phase measurements: take a
+  /// snapshot before the window, then `now.since(before)` after it.
+  [[nodiscard]] Histogram snapshot() const { return *this; }
+
+  /// The distribution of values recorded after `earlier` was
+  /// snapshotted from *this same histogram*. Count, mean and stddev of
+  /// the window are exact; min/max (and therefore quantile clamping)
+  /// are bucket-resolution bounds, since per-value extremes cannot be
+  /// attributed to a window after the fact.
+  [[nodiscard]] Histogram since(const Histogram& earlier) const;
+
   /// One-line summary, e.g. "n=1000 mean=4.2us p50=... p99=...",
   /// interpreting stored values as picoseconds.
   [[nodiscard]] std::string summary_time() const;

@@ -54,6 +54,28 @@ std::string qualify(const std::string& set_name, const std::string& metric) {
 }
 }  // namespace
 
+void Registry::import_prefixed(const Registry& other, std::string_view prefix) {
+  const std::string pfx(prefix);
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(pfx + name) = *h;
+  }
+  for (const auto& [name, set] : other.counters_) {
+    CounterSet& dst = counters(pfx + name);
+    dst.reset();
+    // Canonicalise inner keys to their fully qualified form first, so
+    // the prefixed set renders them under its own (prefixed) name.
+    for (const auto& [counter, value] : set->counters()) {
+      dst.add(pfx + qualify(name, counter), value);
+    }
+    for (const auto& [gauge, value] : set->gauges()) {
+      dst.set_gauge(pfx + qualify(name, gauge), value);
+    }
+  }
+  for (const auto& [name, s] : other.series_) {
+    series(pfx + name).copy_samples_from(*s);
+  }
+}
+
 Table Registry::to_table(std::string title) const {
   Table table(std::move(title), {"metric", "type", "value", "detail"});
   for (const auto& [name, set] : counters_) {

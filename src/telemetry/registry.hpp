@@ -47,6 +47,14 @@ class Registry {
   /// series in one sorted table.
   [[nodiscard]] Table to_table(std::string title = "metrics") const;
 
+  /// Snapshot-import every instrument of `other` into this registry
+  /// under `prefix` + name ("rack0." + "net.packet_latency"). Existing
+  /// instruments with the same prefixed name are overwritten in place,
+  /// so repeated imports refresh the snapshot instead of
+  /// double-counting, and references handed out earlier stay valid.
+  /// This is how a fleet merges its shards' metric tables.
+  void import_prefixed(const Registry& other, std::string_view prefix);
+
  private:
   // unique_ptr for reference stability across rehashing inserts.
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -23,6 +23,11 @@ class TimeSeries {
 
   void record(rsf::sim::SimTime t, double value) { samples_.push_back({t, value}); }
 
+  /// Replace this series' samples with a copy of `other`'s (the name
+  /// is kept). Used by Registry::import_prefixed to snapshot a series
+  /// under a new name without touching the source.
+  void copy_samples_from(const TimeSeries& other) { samples_ = other.samples_; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
   [[nodiscard]] bool empty() const { return samples_.empty(); }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace rsf::telemetry {
@@ -72,6 +73,12 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print() const { print(std::cout); }
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
 
 namespace {
 void csv_field(std::ostream& os, const std::string& v) {

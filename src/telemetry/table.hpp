@@ -37,6 +37,8 @@ class Table {
   void write_csv(std::ostream& os) const;
   /// Convenience: print() to stdout.
   void print() const;
+  /// The print() rendering as a string (tests diff tables byte-wise).
+  [[nodiscard]] std::string to_string() const;
 
  private:
   std::string title_;

@@ -1,0 +1,299 @@
+// FleetRuntime: sharded multi-rack simulation on one clock. A 1-shard
+// fleet must be byte-identical to a standalone FabricRuntime, cross-
+// rack flows must stage correctly over the spine (including multi-hop
+// and failure), and the fleet registry must expose every shard's
+// metrics under its "rack<N>." prefix next to the live "spine.*" set.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "runtime/fleet.hpp"
+#include "runtime/runtime.hpp"
+#include "workload/crossrack.hpp"
+#include "workload/generator.hpp"
+
+namespace rsf {
+namespace {
+
+using phy::DataSize;
+using rsf::sim::SimTime;
+using runtime::FabricRuntime;
+using runtime::FleetConfig;
+using runtime::FleetRuntime;
+using runtime::RackShape;
+using runtime::RackSpec;
+using runtime::RuntimeConfig;
+using runtime::SpineSpec;
+using namespace rsf::sim::literals;
+
+RuntimeConfig grid_config(int w = 4, int h = 4) {
+  RuntimeConfig cfg;
+  cfg.shape = RackShape::kGrid;
+  cfg.rack.width = w;
+  cfg.rack.height = h;
+  return cfg;
+}
+
+/// A fixed-seed workload driven identically against a standalone
+/// runtime and a 1-shard fleet's rack.
+workload::GeneratorConfig workload_config() {
+  workload::GeneratorConfig cfg;
+  cfg.seed = 99;
+  cfg.mean_interarrival = 60_us;
+  cfg.horizon = 2_ms;
+  cfg.sizes = workload::SizeDistribution::fixed_size(DataSize::kilobytes(8));
+  return cfg;
+}
+
+TEST(FleetRuntime, OneShardFleetIsByteIdenticalToStandaloneRuntime) {
+  // Standalone.
+  FabricRuntime rt(grid_config());
+  auto& gen = rt.add_generator(workload::TrafficMatrix::uniform(rt.node_count()),
+                               workload_config());
+  rt.start();
+  gen.start();
+  rt.run_until();
+  rt.stop();
+  rt.run_until();
+
+  // 1-shard fleet, same rack config, same workload.
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  FleetRuntime fleet(fc);
+  auto& fgen = fleet.rack(0).add_generator(
+      workload::TrafficMatrix::uniform(fleet.rack(0).node_count()), workload_config());
+  fleet.start();
+  fgen.start();
+  fleet.run_until();
+  fleet.stop();
+  fleet.run_until();
+
+  EXPECT_EQ(rt.sim().executed(), fleet.sim().executed());
+  // Byte-identical metrics: the shard's rendered table equals the
+  // standalone runtime's, row for row.
+  EXPECT_EQ(rt.metrics_table().to_string(), fleet.rack(0).metrics_table().to_string());
+}
+
+TEST(FleetRuntime, CrossRackFlowDelivers) {
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  s.latency = 3_us;
+  fc.spine.push_back(s);
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 3, 3);
+  spec.dst = fleet.at(1, 2, 2);
+  spec.size = DataSize::kilobytes(64);
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.run_until();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->spine_hops, 1);
+  EXPECT_EQ(result->rack_legs, 2);  // src->gw in rack 0, gw->dst in rack 1
+  // The payload crossed the spine at least once: serialization + the
+  // 3 us propagation put completion past the pure-latency floor.
+  EXPECT_GT(result->completion_time(), 3_us);
+  EXPECT_EQ(fleet.flows_completed(), 1u);
+  // Both shard networks saw traffic; the spine accounted the bytes.
+  EXPECT_GT(fleet.rack(0).network().flows_completed(), 0u);
+  EXPECT_GT(fleet.rack(1).network().flows_completed(), 0u);
+  EXPECT_EQ(fleet.spine().counters().get("spine.transfers"), 1u);
+}
+
+TEST(FleetRuntime, MultiHopSpineRoutesThroughIntermediateRack) {
+  // Line 0 - 1 - 2 with distinct entry/exit gateways on rack 1, so the
+  // payload must cross rack 1's fabric between them.
+  FleetConfig fc;
+  for (int i = 0; i < 3; ++i) fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s01;
+  s01.rack_a = 0;
+  s01.rack_b = 1;
+  fc.spine.push_back(s01);
+  SpineSpec s12;
+  s12.rack_a = 1;
+  s12.rack_b = 2;
+  s12.gateway_a = 15;  // far corner of rack 1
+  fc.spine.push_back(s12);
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 1, 1);
+  spec.dst = fleet.at(2, 2, 2);
+  spec.size = DataSize::kilobytes(32);
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.run_until();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->spine_hops, 2);
+  EXPECT_EQ(result->rack_legs, 3);  // rack0 egress, rack1 transit, rack2 ingress
+  EXPECT_GT(fleet.rack(1).network().flows_completed(), 0u);
+}
+
+TEST(FleetRuntime, DownSpineLinkFailsOrReroutes) {
+  // Triangle 0-1, 1-2, 0-2: killing 0-2 reroutes through rack 1;
+  // killing both 0-2 and 1-2 leaves rack 2 unreachable.
+  FleetConfig fc;
+  for (int i = 0; i < 3; ++i) fc.racks.push_back(RackSpec{grid_config(), 0});
+  for (auto [a, b] : {std::pair{0, 1}, {1, 2}, {0, 2}}) {
+    SpineSpec s;
+    s.rack_a = static_cast<std::uint32_t>(a);
+    s.rack_b = static_cast<std::uint32_t>(b);
+    fc.spine.push_back(s);
+  }
+  FleetRuntime fleet(fc);
+  fleet.spine().set_link_up(2, false);  // 0-2 down
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 0, 0);
+  spec.dst = fleet.at(2, 0, 1);
+  spec.size = DataSize::kilobytes(16);
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->spine_hops, 2);  // took the detour via rack 1
+
+  fleet.spine().set_link_up(1, false);  // 1-2 down too: rack 2 cut off
+  spec.id = 2;
+  spec.start = fleet.now();
+  std::optional<runtime::FleetFlowResult> cut;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { cut = r; });
+  fleet.run_until();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_TRUE(cut->failed);
+  EXPECT_EQ(fleet.flows_failed(), 1u);
+}
+
+TEST(FleetRuntime, CrossRackShuffleCompletesAndCountsSpineHops) {
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  fc.spine.push_back(s);
+  FleetRuntime fleet(fc);
+
+  workload::CrossRackShuffleConfig cfg;
+  for (int x = 0; x < 3; ++x) cfg.mappers.push_back(fleet.at(0, x, 0));
+  for (int x = 0; x < 2; ++x) cfg.reducers.push_back(fleet.at(1, x, 3));
+  cfg.bytes_per_pair = DataSize::kilobytes(32);
+  auto& job = fleet.add_shuffle(cfg);
+  std::optional<workload::CrossRackResult> result;
+  job.run([&](const workload::CrossRackResult& r) { result = r; });
+  fleet.run_until();
+
+  ASSERT_TRUE(job.finished());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->flows, 6u);  // 3 mappers x 2 reducers
+  EXPECT_EQ(result->failed, 0u);
+  EXPECT_EQ(result->cross_rack_flows, 6u);
+  EXPECT_EQ(result->spine_hops, 6u);
+  EXPECT_GE(result->straggler_ratio(), 1.0);
+  EXPECT_GT(result->job_completion, SimTime::zero());
+}
+
+TEST(FleetRuntime, RegistryExposesPrefixedRackAndSpineMetrics) {
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  fc.spine.push_back(s);
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 0, 1);
+  spec.dst = fleet.at(1, 1, 0);
+  spec.size = DataSize::kilobytes(16);
+  fleet.start_flow(spec);
+  fleet.run_until();
+
+  auto& metrics = fleet.metrics();
+  for (const std::string rack : {"rack0", "rack1"}) {
+    const auto* pkt = metrics.find_histogram(rack + ".net.packet_latency");
+    ASSERT_NE(pkt, nullptr) << rack;
+    EXPECT_GT(pkt->count(), 0u) << rack;
+    const auto* counters = metrics.find_counters(rack + ".net");
+    ASSERT_NE(counters, nullptr) << rack;
+    EXPECT_GT(counters->get(rack + ".net.packets_delivered"), 0u) << rack;
+  }
+  EXPECT_NE(metrics.find_counters("spine"), nullptr);
+  EXPECT_EQ(metrics.find_counters("spine")->get("spine.transfers"), 1u);
+  EXPECT_NE(metrics.find_histogram("spine.transfer_latency"), nullptr);
+
+  // The snapshot matches the shard's own registry, and re-collecting
+  // refreshes in place (no double counting, stable instruments).
+  const auto* before = metrics.find_histogram("rack0.net.packet_latency");
+  const auto count = before->count();
+  EXPECT_EQ(count, fleet.rack(0).network().packet_latency().count());
+  auto& again = fleet.metrics();
+  EXPECT_EQ(before, again.find_histogram("rack0.net.packet_latency"));
+  EXPECT_EQ(before->count(), count);
+
+  // The fleet table carries rows from every prefix.
+  const std::string table = fleet.metrics_table().to_string();
+  EXPECT_NE(table.find("rack0.net.packet_latency"), std::string::npos);
+  EXPECT_NE(table.find("rack1.net.packet_latency"), std::string::npos);
+  EXPECT_NE(table.find("spine.transfers"), std::string::npos);
+}
+
+TEST(FleetRuntime, SameRackFleetFlowCollapsesToPlainNetworkFlow) {
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 0, 0);
+  spec.dst = fleet.at(0, 3, 3);
+  spec.size = DataSize::kilobytes(16);
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.run_until();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->spine_hops, 0);
+  EXPECT_EQ(result->rack_legs, 1);
+}
+
+TEST(FleetRuntime, RejectsBadConfigs) {
+  EXPECT_THROW(FleetRuntime(FleetConfig{}), std::invalid_argument);
+
+  FleetConfig bad_gateway;
+  bad_gateway.racks.push_back(RackSpec{grid_config(), 99});
+  EXPECT_THROW(FleetRuntime{bad_gateway}, std::invalid_argument);
+
+  FleetConfig bad_spine;
+  bad_spine.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 7;  // no such rack
+  bad_spine.spine.push_back(s);
+  EXPECT_THROW(FleetRuntime{bad_spine}, std::invalid_argument);
+
+  // Bad flow specs fail at the call site, not mid-simulation.
+  FleetConfig ok;
+  ok.racks.push_back(RackSpec{grid_config(), 0});
+  FleetRuntime fleet(ok);
+  runtime::FleetFlowSpec empty_flow;
+  empty_flow.src = fleet.at(0, 0, 0);
+  empty_flow.dst = fleet.at(0, 1, 1);
+  empty_flow.size = DataSize::bytes(0);
+  EXPECT_THROW(fleet.start_flow(empty_flow), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsf

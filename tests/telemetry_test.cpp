@@ -5,6 +5,7 @@
 #include "sim/random.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/series.hpp"
 #include "telemetry/table.hpp"
 
@@ -116,6 +117,61 @@ TEST(Histogram, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), 42.0);
 }
 
+TEST(Histogram, SinceDiffsPhaseWindowExactly) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const Histogram before = h.snapshot();
+  for (int i = 0; i < 50; ++i) h.record(1000.0);
+  const Histogram window = h.since(before);
+  // Count, mean and stddev of the window are exact.
+  EXPECT_EQ(window.count(), 50u);
+  EXPECT_DOUBLE_EQ(window.mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(window.stddev(), 0.0);
+  // Quantiles resolve within bucket relative error.
+  EXPECT_NEAR(window.p50(), 1000.0, 1000.0 / 64 + 1);
+  // Extremes are bucket-resolution bounds around the window's values.
+  EXPECT_GE(window.max(), 1000.0 * (1.0 - 1.0 / 64));
+  EXPECT_LE(window.max(), 1000.0 * (1.0 + 2.0 / 64));
+  EXPECT_GE(window.min(), 1000.0 * (1.0 - 2.0 / 64));
+  // The cumulative histogram is untouched.
+  EXPECT_EQ(h.count(), 150u);
+}
+
+TEST(Histogram, SinceOfEqualOrNewerSnapshotIsEmpty) {
+  Histogram h;
+  h.record(5.0);
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(h.since(snap).count(), 0u);
+  Histogram later = h;
+  later.record(6.0);
+  EXPECT_EQ(h.since(later).count(), 0u);  // not a predecessor: empty, not UB
+}
+
+TEST(Histogram, SinceOfUnrelatedHistogramClampsInsteadOfWrapping) {
+  // Misuse guard: diffing against a histogram that is not a snapshot
+  // of *this* must not unsigned-underflow bucket counts.
+  Histogram a;
+  for (int i = 0; i < 5; ++i) a.record(2000.0);
+  Histogram unrelated;
+  for (int i = 0; i < 3; ++i) unrelated.record(0.5);  // sub-unit bucket only
+  const Histogram d = a.since(unrelated);
+  EXPECT_EQ(d.count(), 2u);  // best-effort totals, no wraparound
+  EXPECT_LE(d.quantile(0.99), a.max());
+  EXPECT_GE(d.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SinceCountsSubUnitValues) {
+  Histogram h;
+  h.record(10.0);
+  const Histogram before = h.snapshot();
+  h.record(0.5);
+  h.record(0.25);
+  const Histogram window = h.since(before);
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_DOUBLE_EQ(window.mean(), 0.375);
+  EXPECT_LE(window.max(), 1.0);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.record(1.0);
@@ -217,6 +273,53 @@ TEST(TimeSeries, MinMax) {
   s.record(2_ns, 7.0);
   EXPECT_DOUBLE_EQ(s.max_value(), 7.0);
   EXPECT_DOUBLE_EQ(s.min_value(), -2.0);
+}
+
+// --- Registry prefix-merge ---
+
+TEST(Registry, ImportPrefixedSnapshotsAndRefreshesInPlace) {
+  Registry shard;
+  shard.histogram("net.packet_latency").record(10.0);
+  shard.counters("net").add("net.packets_delivered", 3);
+  shard.counters("net").set_gauge("queue_depth", 1.5);
+  shard.series("crc.power").record(1_us, 7.0);
+
+  Registry fleet;
+  fleet.import_prefixed(shard, "rack0.");
+
+  const auto* h = fleet.find_histogram("rack0.net.packet_latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  const auto* c = fleet.find_counters("rack0.net");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->get("rack0.net.packets_delivered"), 3u);
+  // Bare gauge names get fully qualified so the prefixed set renders
+  // them under its own name.
+  EXPECT_DOUBLE_EQ(c->gauge("rack0.net.queue_depth"), 1.5);
+  const auto* s = fleet.find_series("rack0.crc.power");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->samples().size(), 1u);
+
+  // Re-import refreshes in place: same instruments, updated values,
+  // no double counting.
+  shard.histogram("net.packet_latency").record(20.0);
+  shard.counters("net").add("net.packets_delivered", 2);
+  fleet.import_prefixed(shard, "rack0.");
+  EXPECT_EQ(h, fleet.find_histogram("rack0.net.packet_latency"));
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(c->get("rack0.net.packets_delivered"), 5u);
+
+  // Two shards merge side by side; the source registry is untouched.
+  Registry other;
+  other.counters("net").add("net.packets_delivered", 9);
+  fleet.import_prefixed(other, "rack1.");
+  EXPECT_EQ(fleet.find_counters("rack1.net")->get("rack1.net.packets_delivered"), 9u);
+  EXPECT_EQ(c->get("rack0.net.packets_delivered"), 5u);
+  EXPECT_EQ(shard.counters("net").get("net.packets_delivered"), 5u);
+
+  const std::string table = fleet.to_table("merged").to_string();
+  EXPECT_NE(table.find("rack0.net.packets_delivered"), std::string::npos);
+  EXPECT_NE(table.find("rack0.net.queue_depth"), std::string::npos);
 }
 
 // --- Table ---
