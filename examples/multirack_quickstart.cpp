@@ -3,11 +3,15 @@
 // Three independently configured racks — an adaptive 4x4 grid, a
 // native 4x4 torus baseline, and an 8-node storage ring — are joined
 // by spine links into a line (rack0 - rack1 - rack2), all driven from
-// ONE shared simulation clock. A cross-rack MapReduce shuffle moves
-// data from mappers in rack 0 to reducers in rack 2 (every flow
-// crosses two spine hops via rack 1's gateways), an all-to-all incast
-// converges on a single sink, and the fleet metrics table shows every
-// rack's telemetry under its "rack<N>." prefix next to the spine's.
+// ONE shared simulation clock. Cross-rack traffic is per-packet:
+// every packet streams over its rack legs and spine hops with
+// cut-through pipelining, and the spine-aware FleetController
+// reprices hot spine links each epoch so later packets re-plan. A
+// cross-rack MapReduce shuffle moves data from mappers in rack 0 to
+// reducers in rack 2 (every flow crosses two spine hops via rack 1's
+// gateways), an all-to-all incast converges on a single sink, and the
+// fleet metrics table shows every rack's telemetry under its
+// "rack<N>." prefix next to the spine's and the controller's.
 #include <cstdio>
 
 #include "runtime/fleet.hpp"
@@ -57,8 +61,14 @@ int main() {
   s12.latency = 2_us;
   cfg.spine.push_back(s12);
 
+  // The fleet controller: observe spine utilisation every 50 us,
+  // reprice links that run hot, let the route cache re-plan packets.
+  cfg.enable_controller = true;
+  cfg.controller.epoch = 50_us;
+  cfg.controller.utilization_weight = 8.0;
+
   runtime::FleetRuntime fleet(cfg);
-  fleet.start();  // arm every rack's control loop
+  fleet.start();  // arm every rack's control loop + the fleet's
   std::printf("fleet: %zu racks, %zu spine links, one clock\n\n", fleet.rack_count(),
               fleet.spine().link_count());
 
@@ -107,9 +117,14 @@ int main() {
     std::printf("  rack%zu: %s\n", i, h ? h->summary_time().c_str() : "(none)");
   }
   const auto* spine = metrics.find_counters("spine");
-  std::printf("  spine: %llu transfers, %llu bytes\n\n",
-              static_cast<unsigned long long>(spine->get("spine.transfers")),
-              static_cast<unsigned long long>(spine->get("spine.bytes")));
+  std::printf("  spine: %llu packets, %llu bytes, %llu retransmits\n",
+              static_cast<unsigned long long>(spine->get("spine.packets")),
+              static_cast<unsigned long long>(spine->get("spine.bytes")),
+              static_cast<unsigned long long>(spine->get("spine.retransmits")));
+  std::printf("  controller: %llu epochs, %llu reprices, peak spine util %.2f\n\n",
+              static_cast<unsigned long long>(fleet.controller().epochs_completed()),
+              static_cast<unsigned long long>(fleet.controller().reprices()),
+              fleet.controller().utilization_series().max_value());
 
   fleet.metrics_table().print();
   return 0;

@@ -1,8 +1,10 @@
 #include "fabric/interconnect.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 namespace rsf::fabric {
@@ -15,11 +17,18 @@ telemetry::Registry& checked(telemetry::Registry* registry) {
   if (registry == nullptr) throw std::invalid_argument("Interconnect: null registry");
   return *registry;
 }
+
+constexpr SpineLinkId kNone = static_cast<SpineLinkId>(-1);
 }  // namespace
 
-Interconnect::Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* registry)
+Interconnect::Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* registry,
+                           std::uint64_t seed)
     : sim_(sim),
+      rng_(seed, "spine"),
       counters_(checked(registry).counters("spine")),
+      packets_slot_(counters_.slot("spine.packets")),
+      bytes_slot_(counters_.slot("spine.bytes")),
+      drops_slot_(counters_.slot("spine.packet_drops")),
       transfer_latency_(registry->histogram("spine.transfer_latency")),
       queue_delay_(registry->histogram("spine.queue_delay")) {
   if (sim_ == nullptr) {
@@ -34,9 +43,20 @@ SpineLinkId Interconnect::add_link(SpineLinkParams params) {
   if (params.rate.gbps_value() <= 0) {
     throw std::invalid_argument("Interconnect: non-positive spine rate");
   }
+  if (params.cost <= 0) {
+    throw std::invalid_argument("Interconnect: non-positive spine cost");
+  }
+  if (params.loss_prob < 0 || params.loss_prob >= 1) {
+    throw std::invalid_argument("Interconnect: loss_prob outside [0, 1)");
+  }
   const auto id = static_cast<SpineLinkId>(links_.size());
   max_rack_ = std::max({max_rack_, params.a.rack, params.b.rack});
-  links_.push_back(SpineLink{params, true, {}});
+  SpineLink l;
+  l.params = params;
+  l.cost = params.cost;
+  l.packets_slot = &counters_.slot("spine.link" + std::to_string(id) + ".packets");
+  links_.push_back(std::move(l));
+  ++version_;
   counters_.add("spine.links_added");
   return id;
 }
@@ -49,12 +69,24 @@ const Interconnect::SpineLink& Interconnect::at(SpineLinkId id) const {
 const SpineLinkParams& Interconnect::link(SpineLinkId id) const { return at(id).params; }
 
 void Interconnect::set_link_up(SpineLinkId id, bool up) {
-  at(id);  // validate
+  static_cast<void>(at(id));  // validate
   links_[id].up = up;
+  ++version_;
   counters_.add(up ? "spine.links_restored" : "spine.links_failed");
 }
 
 bool Interconnect::link_up(SpineLinkId id) const { return at(id).up; }
+
+void Interconnect::set_link_cost(SpineLinkId id, double cost) {
+  static_cast<void>(at(id));  // validate
+  if (cost <= 0) throw std::invalid_argument("Interconnect: non-positive spine cost");
+  if (links_[id].cost == cost) return;
+  links_[id].cost = cost;
+  ++version_;
+  counters_.add("spine.reprices");
+}
+
+double Interconnect::link_cost(SpineLinkId id) const { return at(id).cost; }
 
 int Interconnect::direction_index(const SpineLink& l, std::uint32_t from_rack) const {
   if (from_rack == l.params.a.rack) return 0;
@@ -69,22 +101,48 @@ const RackNode& Interconnect::far_end(SpineLinkId id, std::uint32_t from_rack) c
 
 std::optional<std::vector<SpineLinkId>> Interconnect::route(std::uint32_t src_rack,
                                                             std::uint32_t dst_rack) const {
+  if (cache_version_ != version_) {
+    route_cache_.clear();
+    cache_version_ = version_;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(src_rack) << 32) | dst_rack;
+  if (auto it = route_cache_.find(key); it != route_cache_.end()) {
+    counters_.add("spine.route_cache_hits");
+    return it->second;
+  }
+  counters_.add("spine.route_cache_misses");
+  auto r = compute_route(src_rack, dst_rack);
+  route_cache_.emplace(key, r);
+  return r;
+}
+
+std::optional<std::vector<SpineLinkId>> Interconnect::compute_route(
+    std::uint32_t src_rack, std::uint32_t dst_rack) const {
   if (src_rack == dst_rack) return std::vector<SpineLinkId>{};
-  // Racks are few (a fleet is N racks, not N nodes): a fresh BFS per
-  // query is cheaper than keeping an adjacency index coherent.
+  // Racks are few (a fleet is N racks, not N nodes): a fresh search
+  // per miss is cheaper than keeping an adjacency index coherent, and
+  // route() memoizes the result anyway.
   const std::size_t racks = static_cast<std::size_t>(max_rack_) + 1;
   if (src_rack >= racks || dst_rack >= racks) return std::nullopt;
-  constexpr SpineLinkId kNone = static_cast<SpineLinkId>(-1);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(racks, kInf);
+  std::vector<int> hops(racks, std::numeric_limits<int>::max());
   std::vector<SpineLinkId> via(racks, kNone);
-  std::vector<bool> seen(racks, false);
-  std::queue<std::uint32_t> frontier;
-  seen[src_rack] = true;
-  frontier.push(src_rack);
-  while (!frontier.empty() && !seen[dst_rack]) {
-    const std::uint32_t rack = frontier.front();
+  // (cost, hops, rack) min-heap: ties resolve toward fewer hops, then
+  // toward the expansion from the lowest-id rack (pop order), and
+  // relaxation scans link ids ascending, so among equal candidates
+  // out of one rack the lowest-id edge wins. Deterministic — every
+  // run picks the same route for the same graph and costs.
+  using Item = std::tuple<double, int, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  cost[src_rack] = 0;
+  hops[src_rack] = 0;
+  frontier.emplace(0.0, 0, src_rack);
+  while (!frontier.empty()) {
+    const auto [c, h, rack] = frontier.top();
     frontier.pop();
-    // Link ids ascend, so the first edge reaching a rack is the
-    // lowest-id edge at the shortest depth: deterministic ties.
+    if (c > cost[rack] || (c == cost[rack] && h > hops[rack])) continue;  // stale
+    if (rack == dst_rack) break;
     for (SpineLinkId id = 0; id < links_.size(); ++id) {
       const SpineLink& l = links_[id];
       if (!l.up) continue;
@@ -96,13 +154,17 @@ std::optional<std::vector<SpineLinkId>> Interconnect::route(std::uint32_t src_ra
       } else {
         continue;
       }
-      if (seen[next]) continue;
-      seen[next] = true;
-      via[next] = id;
-      frontier.push(next);
+      const double nc = c + l.cost;
+      const int nh = h + 1;
+      if (nc < cost[next] || (nc == cost[next] && nh < hops[next])) {
+        cost[next] = nc;
+        hops[next] = nh;
+        via[next] = id;
+        frontier.emplace(nc, nh, next);
+      }
     }
   }
-  if (!seen[dst_rack]) return std::nullopt;
+  if (via[dst_rack] == kNone) return std::nullopt;
   std::vector<SpineLinkId> path;
   for (std::uint32_t rack = dst_rack; rack != src_rack;) {
     const SpineLinkId id = via[rack];
@@ -114,6 +176,47 @@ std::optional<std::vector<SpineLinkId>> Interconnect::route(std::uint32_t src_ra
   return path;
 }
 
+SimTime Interconnect::occupy(SpineLink& l, int d, phy::DataSize size) {
+  Direction& dir = l.dir[d];
+  const SimTime now = sim_->now();
+  const SimTime start = std::max(now, dir.busy_until);
+  const SimTime serialization = phy::transmission_time(size, l.params.rate);
+  dir.busy_until = start + serialization;
+  dir.busy_total += serialization;
+  const SimTime arrival = dir.busy_until + l.params.latency;
+  bytes_slot_ += static_cast<std::uint64_t>(std::max<std::int64_t>(0, size.bit_count() / 8));
+  queue_delay_.record(start - now);
+  transfer_latency_.record(arrival - now);
+  return arrival;
+}
+
+bool Interconnect::send_packet(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
+                               PacketCallback cb) {
+  const SpineLink& l = at(id);
+  const int d = direction_index(l, from_rack);
+  if (!l.up) {
+    counters_.add("spine.packets_refused");
+    return false;
+  }
+  SpineLink& ml = links_[id];
+  const SimTime arrival = occupy(ml, d, size);
+  ++ml.dir[d].packets;
+  ++packets_slot_;
+  ++*ml.packets_slot;
+  // Loss is decided at send time but observed at arrival (the far
+  // gateway's FEC decoder gives up on the mangled frame there).
+  const bool lost = ml.params.loss_prob > 0.0 && rng_.bernoulli(ml.params.loss_prob);
+  if (lost) {
+    ++ml.dir[d].drops;
+    ++drops_slot_;
+  }
+  if (cb) {
+    sim_->schedule_at(arrival,
+                      [cb = std::move(cb), arrival, lost] { cb(arrival, !lost); });
+  }
+  return true;
+}
+
 bool Interconnect::transfer(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
                             DeliveryCallback cb) {
   const SpineLink& l = at(id);
@@ -122,18 +225,8 @@ bool Interconnect::transfer(SpineLinkId id, std::uint32_t from_rack, phy::DataSi
     counters_.add("spine.transfers_refused");
     return false;
   }
-  Direction& dir = links_[id].dir[d];
-  const SimTime now = sim_->now();
-  const SimTime start = std::max(now, dir.busy_until);
-  const SimTime serialization = phy::transmission_time(size, l.params.rate);
-  dir.busy_until = start + serialization;
-  dir.busy_total += serialization;
-  const SimTime arrival = dir.busy_until + l.params.latency;
+  const SimTime arrival = occupy(links_[id], d, size);
   counters_.add("spine.transfers");
-  counters_.add("spine.bytes",
-                static_cast<std::uint64_t>(std::max<std::int64_t>(0, size.bit_count() / 8)));
-  queue_delay_.record(start - now);
-  transfer_latency_.record(arrival - now);
   if (cb) {
     sim_->schedule_at(arrival, [cb = std::move(cb), arrival] { cb(arrival); });
   }
@@ -143,6 +236,22 @@ bool Interconnect::transfer(SpineLinkId id, std::uint32_t from_rack, phy::DataSi
 SimTime Interconnect::busy_time(SpineLinkId id, std::uint32_t from_rack) const {
   const SpineLink& l = at(id);
   return l.dir[direction_index(l, from_rack)].busy_total;
+}
+
+SimTime Interconnect::queue_backlog(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  const SimTime until = l.dir[direction_index(l, from_rack)].busy_until;
+  return until > sim_->now() ? until - sim_->now() : SimTime::zero();
+}
+
+std::uint64_t Interconnect::link_packets(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  return l.dir[direction_index(l, from_rack)].packets;
+}
+
+std::uint64_t Interconnect::link_drops(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  return l.dir[direction_index(l, from_rack)].drops;
 }
 
 }  // namespace rsf::fabric

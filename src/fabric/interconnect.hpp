@@ -3,23 +3,39 @@
 // An Interconnect models the links *between* racks of a fleet: spine
 // cables with a configurable rate and propagation latency, each
 // connecting a designated gateway node in one rack to a gateway node
-// in another. The spine is deliberately coarser than the intra-rack
-// fabric — a transfer occupies a spine direction for its serialization
-// time (busy-until FIFO arithmetic, the same model Network uses for
-// switch ports) and arrives one propagation latency later. Rack-level
-// routing is shortest-path over the rack graph, skipping
-// administratively-down links so spine-failure scenarios reroute.
+// in another. Since PR 3 the spine is a first-class packet-switched
+// layer: the fleet transport streams individual packets through
+// send_packet() (per-packet FIFO busy-until serialization, propagation
+// latency, and Bernoulli loss sampled from the link's loss_prob), while
+// the legacy bulk transfer() remains as the store-and-forward
+// comparison baseline.
 //
-// Metrics land in the owning registry under "spine.*".
+// Rack-level routing is cost-aware shortest path over the rack graph
+// (Dijkstra; unit costs degenerate to breadth-first order) skipping
+// administratively-down links, with deterministic tie-breaking:
+// equal-cost candidates prefer fewer hops, then the expansion from
+// the lowest-id rack, then the lowest-id edge out of it — every run
+// picks the same route. Routes are memoized per
+// (src_rack, dst_rack) against a monotonically increasing spine
+// version; add_link, set_link_up and set_link_cost (the controller's
+// repricing hook) bump the version, so cached routes are invalidated
+// exactly when the graph or its prices change.
+//
+// Metrics land in the owning registry under "spine.*", including
+// per-link packet counters ("spine.link3.packets") the fleet
+// controller tests assert traffic shifts against.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "phy/types.hpp"
 #include "phy/units.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
@@ -44,16 +60,27 @@ struct SpineLinkParams {
   phy::DataRate rate = phy::DataRate::gbps(400);
   /// One-way propagation between the racks (spine cables are long).
   rsf::sim::SimTime latency = rsf::sim::SimTime::microseconds(1);
+  /// Per-packet loss probability on this hop (uncorrectable errors at
+  /// fleet scale). Sampled by send_packet(); 0 keeps runs loss-free.
+  double loss_prob = 0.0;
+  /// Initial routing cost (> 0). The FleetController reprices live.
+  double cost = 1.0;
 };
 
 class Interconnect {
  public:
   /// cb(arrival): the transfer's last bit reaches the far gateway.
   using DeliveryCallback = std::function<void(rsf::sim::SimTime arrival)>;
+  /// cb(arrival, delivered): the packet's last bit reaches the far
+  /// gateway (delivered == false when the hop lost it — the sender
+  /// owns retransmission).
+  using PacketCallback = std::function<void(rsf::sim::SimTime arrival, bool delivered)>;
 
   /// Metrics go to `registry` under "spine.*" (never null; the
-  /// FleetRuntime hands the fleet registry in).
-  Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* registry);
+  /// FleetRuntime hands the fleet registry in). `seed` feeds the loss
+  /// sampler; equal seeds reproduce loss patterns bit-for-bit.
+  Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* registry,
+               std::uint64_t seed = 1);
 
   Interconnect(const Interconnect&) = delete;
   Interconnect& operator=(const Interconnect&) = delete;
@@ -67,25 +94,61 @@ class Interconnect {
   void set_link_up(SpineLinkId id, bool up);
   [[nodiscard]] bool link_up(SpineLinkId id) const;
 
+  /// Live routing cost of `id`. Starts at params.cost; repriced by the
+  /// FleetController. Setting a changed cost bumps the spine version.
+  void set_link_cost(SpineLinkId id, double cost);
+  [[nodiscard]] double link_cost(SpineLinkId id) const;
+
+  /// Monotonic version of the rack graph + its prices. Bumped by
+  /// add_link, by set_link_up, and by set_link_cost when the cost
+  /// actually changes; the route cache keys on it.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   /// The far endpoint of `id` as seen from `from_rack`.
   [[nodiscard]] const RackNode& far_end(SpineLinkId id, std::uint32_t from_rack) const;
 
-  /// Shortest up-link path src_rack -> dst_rack over the rack graph
-  /// (BFS, fewest spine hops; ties break on lowest link id for
-  /// determinism). nullopt when unreachable; empty when src == dst.
+  /// Cheapest up-link path src_rack -> dst_rack over the rack graph
+  /// (cost-weighted; ties prefer fewer hops, then the lowest-id rack's
+  /// expansion, then its lowest-id edge, so routes are deterministic).
+  /// nullopt when unreachable; empty
+  /// when src == dst. Memoized per (src, dst) against version() —
+  /// the per-packet hot path resolves routes through here.
   [[nodiscard]] std::optional<std::vector<SpineLinkId>> route(std::uint32_t src_rack,
                                                               std::uint32_t dst_rack) const;
 
-  /// Occupy `id` in the direction leaving `from_rack` for `size`
-  /// bytes: FIFO serialization at the link rate, then propagation.
-  /// `cb` fires at arrival. Returns false (no callback) when the link
+  /// The uncached computation behind route(); exposed so tests can
+  /// assert the cache hit path returns exactly what a fresh search
+  /// would.
+  [[nodiscard]] std::optional<std::vector<SpineLinkId>> compute_route(
+      std::uint32_t src_rack, std::uint32_t dst_rack) const;
+
+  /// Occupy `id` in the direction leaving `from_rack` for one packet
+  /// of `size` bytes: FIFO serialization at the link rate, then
+  /// propagation; loss sampled from the link's loss_prob. `cb` fires
+  /// at arrival either way. Returns false (no callback) when the link
   /// is down.
+  bool send_packet(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
+                   PacketCallback cb);
+
+  /// Bulk store-and-forward transfer: the whole payload occupies the
+  /// direction for its serialization time. Comparison baseline for
+  /// the packetized path (FleetConfig::transport selects). `cb` fires
+  /// at arrival. Returns false (no callback) when the link is down.
   bool transfer(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
                 DeliveryCallback cb);
 
   /// Cumulative time direction (`id`, leaving `from_rack`) has spent
-  /// serializing — the spine utilisation input for future controllers.
+  /// serializing — the spine utilisation input the FleetController
+  /// diffs between epochs.
   [[nodiscard]] rsf::sim::SimTime busy_time(SpineLinkId id, std::uint32_t from_rack) const;
+  /// How far ahead of now the direction's FIFO is booked — the queue
+  /// depth (in time) the FleetController prices against.
+  [[nodiscard]] rsf::sim::SimTime queue_backlog(SpineLinkId id,
+                                                std::uint32_t from_rack) const;
+  /// Packets sent on direction (`id`, leaving `from_rack`).
+  [[nodiscard]] std::uint64_t link_packets(SpineLinkId id, std::uint32_t from_rack) const;
+  /// Packets lost on direction (`id`, leaving `from_rack`).
+  [[nodiscard]] std::uint64_t link_drops(SpineLinkId id, std::uint32_t from_rack) const;
 
   [[nodiscard]] const telemetry::CounterSet& counters() const { return counters_; }
 
@@ -93,21 +156,39 @@ class Interconnect {
   struct Direction {
     rsf::sim::SimTime busy_until = rsf::sim::SimTime::zero();
     rsf::sim::SimTime busy_total = rsf::sim::SimTime::zero();
+    std::uint64_t packets = 0;
+    std::uint64_t drops = 0;
   };
   struct SpineLink {
     SpineLinkParams params;
     bool up = true;
+    double cost = 1.0;
+    /// Cached registry slot for "spine.link<N>.packets" so the
+    /// per-packet hot path never builds strings or walks the map.
+    std::uint64_t* packets_slot = nullptr;
     Direction dir[2];  // [0]: a->b, [1]: b->a
   };
 
   [[nodiscard]] const SpineLink& at(SpineLinkId id) const;
   /// 0 when leaving params.a.rack, 1 when leaving params.b.rack.
   [[nodiscard]] int direction_index(const SpineLink& l, std::uint32_t from_rack) const;
+  /// Book one serialization on the direction; returns the arrival time.
+  rsf::sim::SimTime occupy(SpineLink& l, int d, phy::DataSize size);
 
   rsf::sim::Simulator* sim_;
   std::vector<SpineLink> links_;
   std::uint32_t max_rack_ = 0;
+  std::uint64_t version_ = 1;
+  rsf::sim::RandomStream rng_;
+  // Route memoization: cleared lazily when version_ moves past the
+  // stamp, so set_link_up / repricing cost one O(1) bump, not a walk.
+  mutable std::uint64_t cache_version_ = 0;
+  mutable std::map<std::uint64_t, std::optional<std::vector<SpineLinkId>>> route_cache_;
   telemetry::CounterSet& counters_;
+  // Hot-path counter slots (stable references into counters_).
+  std::uint64_t& packets_slot_;
+  std::uint64_t& bytes_slot_;
+  std::uint64_t& drops_slot_;
   telemetry::Histogram& transfer_latency_;
   telemetry::Histogram& queue_delay_;
 };

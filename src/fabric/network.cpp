@@ -28,7 +28,10 @@ Network::Network(rsf::sim::Simulator* sim, phy::PhysicalPlant* plant, Topology* 
       packet_latency_(registry_->histogram("net.packet_latency")),
       flow_completion_(registry_->histogram("net.flow_completion")),
       hop_counts_(registry_->histogram("net.hop_counts")),
-      counters_(registry_->counters("net")) {
+      counters_(registry_->counters("net")),
+      injected_slot_(counters_.slot("net.packets_injected")),
+      delivered_slot_(counters_.slot("net.packets_delivered")),
+      probes_slot_(counters_.slot("net.probes")) {
   if (sim_ == nullptr || plant_ == nullptr || topo_ == nullptr || router_ == nullptr) {
     throw std::invalid_argument("Network: null dependency");
   }
@@ -46,11 +49,19 @@ void Network::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
   FlowState state;
   state.spec = spec;
   state.on_complete = std::move(on_complete);
-  state.packets_total = static_cast<std::uint64_t>(
-      (spec.size.bit_count() + spec.packet_size.bit_count() - 1) /
-      spec.packet_size.bit_count());
-  const auto idx = static_cast<std::uint32_t>(flows_.size());
-  flows_.push_back(std::move(state));
+  state.packets_total =
+      static_cast<std::uint64_t>(spec.size.packet_count(spec.packet_size));
+  // Recycle a drained slot when one is free (bounded pool under flow
+  // churn); otherwise grow the dense pool.
+  std::uint32_t idx;
+  if (!free_flow_slots_.empty()) {
+    idx = free_flow_slots_.back();
+    free_flow_slots_.pop_back();
+    flows_[idx] = std::move(state);
+  } else {
+    idx = static_cast<std::uint32_t>(flows_.size());
+    flows_.push_back(std::move(state));
+  }
   flow_index_.emplace(spec.id, idx);
   counters_.add("net.flows_started");
   // A start time already in the past means "now".
@@ -76,13 +87,8 @@ void Network::pump_flow(std::uint32_t flow_idx) {
     pkt.seq = flow.next_seq++;
     pkt.src = flow.spec.src;
     pkt.dst = flow.spec.dst;
-    // Last packet may be short.
-    const std::int64_t sent_bits =
-        static_cast<std::int64_t>(pkt.seq) * flow.spec.packet_size.bit_count();
-    const std::int64_t remaining = flow.spec.size.bit_count() - sent_bits;
-    pkt.size = remaining >= flow.spec.packet_size.bit_count()
-                   ? flow.spec.packet_size
-                   : phy::DataSize::bits(remaining);
+    pkt.size = flow.spec.size.packet_at(static_cast<std::int64_t>(pkt.seq),
+                                        flow.spec.packet_size);
     ++flow.inflight;
     inject(pkt, sim_->now());
   }
@@ -105,14 +111,14 @@ void Network::send_probe(phy::NodeId src, phy::NodeId dst, phy::DataSize size,
     probes_.push_back(ProbeState{std::move(cb)});
   }
   pkt.probe_idx = static_cast<std::int32_t>(slot);
-  counters_.add("net.probes");
+  ++probes_slot_;
   inject(pkt, sim_->now());
 }
 
 void Network::inject(Packet pkt, SimTime when) {
   pkt.injected = when;
   pkt.hops = 0;
-  counters_.add("net.packets_injected");
+  ++injected_slot_;
   const SimTime ready = when + config_.switch_params.nic_latency;
   // The whole packet sits in host memory: head and tail both available.
   sim_->schedule_at(ready, [this, pkt, ready] { hop(pkt, pkt.src, ready, ready); });
@@ -233,7 +239,7 @@ void Network::deliver(const Packet& pkt, SimTime when) {
   const auto finalize = [this, pkt, when] {
     packet_latency_.record(when - pkt.injected);
     hop_counts_.record(static_cast<double>(pkt.hops));
-    counters_.add("net.packets_delivered");
+    ++delivered_slot_;
     if (pkt.probe_idx >= 0) {
       const auto slot = static_cast<std::uint32_t>(pkt.probe_idx);
       auto cb = std::move(probes_[slot].cb);
@@ -242,7 +248,7 @@ void Network::deliver(const Packet& pkt, SimTime when) {
       if (cb) cb(when - pkt.injected, pkt.hops, true);
       return;
     }
-    if (pkt.flow_idx >= 0) {
+    if (live_flow(pkt) != nullptr) {
       flow_packet_delivered(static_cast<std::uint32_t>(pkt.flow_idx));
     }
   };
@@ -264,9 +270,11 @@ void Network::drop(const Packet& pkt, const char* reason) {
     if (cb) cb(SimTime::zero(), pkt.hops, false);
     return;
   }
-  if (pkt.flow_idx >= 0) {
+  if (live_flow(pkt) != nullptr) {
     const auto idx = static_cast<std::uint32_t>(pkt.flow_idx);
+    --flows_[idx].inflight;  // the dropped packet leaves flight here
     if (!flows_[idx].done) finish_flow(idx, /*failed=*/true);
+    maybe_recycle_flow(idx);
   }
 }
 
@@ -275,9 +283,17 @@ void Network::retransmit(Packet pkt) {
     drop(pkt, "retries_exhausted");
     return;
   }
+  if (FlowState* flow = live_flow(pkt); flow != nullptr && flow->done) {
+    // The flow already failed (another packet exhausted its budget):
+    // don't keep retransmitting into a dead flow — account the packet
+    // out of flight so the slot can recycle.
+    --flow->inflight;
+    maybe_recycle_flow(static_cast<std::uint32_t>(pkt.flow_idx));
+    return;
+  }
   ++pkt.retries;
   counters_.add("net.retransmits");
-  if (pkt.flow_idx >= 0) ++flows_[static_cast<std::uint32_t>(pkt.flow_idx)].retransmits;
+  if (FlowState* flow = live_flow(pkt)) ++flow->retransmits;
   sim_->schedule_after(config_.retry_delay, [this, pkt]() mutable {
     pkt.hops = 0;
     const SimTime ready = sim_->now() + config_.switch_params.nic_latency;
@@ -287,8 +303,11 @@ void Network::retransmit(Packet pkt) {
 
 void Network::flow_packet_delivered(std::uint32_t flow_idx) {
   FlowState& flow = flows_[flow_idx];
-  if (flow.done) return;
   --flow.inflight;
+  if (flow.done) {  // straggler of an already-failed flow drains
+    maybe_recycle_flow(flow_idx);
+    return;
+  }
   ++flow.delivered;
   if (flow.delivered == flow.packets_total) {
     finish_flow(flow_idx, /*failed=*/false);
@@ -317,10 +336,24 @@ void Network::finish_flow(std::uint32_t flow_idx, bool failed) {
     flow_completion_.record(result.completion_time());
   }
   // Move the callback out before invoking it: a completion callback may
-  // start new flows, growing flows_ and invalidating `flow`.
+  // start new flows, growing flows_ and invalidating `flow`. Recycle
+  // first, so a callback that immediately restarts the same flow id
+  // finds it free.
   auto cb = std::move(flow.on_complete);
   flow.on_complete = nullptr;
+  maybe_recycle_flow(flow_idx);
   if (cb) cb(result);
+}
+
+void Network::maybe_recycle_flow(std::uint32_t flow_idx) {
+  FlowState& flow = flows_[flow_idx];
+  if (!flow.done || flow.inflight > 0) return;
+  flow_index_.erase(flow.spec.id);
+  // Reset the slot: spec.id becomes kNoFlow, so any (impossible by the
+  // inflight gate, but cheap to guard) stale dense index fails the
+  // live_flow() generation check instead of corrupting a new flow.
+  flow = FlowState{};
+  free_flow_slots_.push_back(flow_idx);
 }
 
 SimTime Network::link_busy_time(phy::LinkId id) const {
@@ -339,27 +372,40 @@ std::uint64_t Network::link_packets(phy::LinkId id) const {
   return id < link_use_.size() ? link_use_[id].packets : 0;
 }
 
-double Network::switch_power_watts(SimTime window) const {
-  // Static: every distinct (node, adjacent link) pairing in switching
-  // use costs a port. Bypassed interior nodes don't pay it — their
-  // traffic never touches the switching logic.
-  // Static: a port is *physical* — one per cable end that terminates
-  // in switching logic. A link's first segment pays at end_a, its last
+std::size_t Network::switching_port_count() const {
+  // A port is *physical* — one per cable end that terminates in
+  // switching logic. A link's first segment pays at end_a, its last
   // at end_b; interior (bypassed) cable ends pay nothing — that is the
   // power saving PLP #2 buys. Splitting a link in two does not mint
   // ports: both halves terminate on the same cable ends (deduplicated
   // here), and dark cables cost nothing.
-  std::set<std::uint64_t> switching_ends;
-  for (phy::LinkId id : plant_->link_ids()) {
-    const phy::LogicalLink& l = plant_->link(id);
-    const auto key = [](phy::CableId c, phy::NodeId n) {
-      return (static_cast<std::uint64_t>(c) << 32) | n;
-    };
-    switching_ends.insert(key(l.segments().front().cable, l.end_a()));
-    switching_ends.insert(key(l.segments().back().cable, l.end_b()));
+  //
+  // The count only changes when the link set does, and every mutation
+  // that can change it (PLP reconfigs, lane failures/repairs, manual
+  // rebuilds) bumps the topology version — so the O(links) set walk
+  // runs once per version instead of once per power query (the CRC
+  // asks every epoch).
+  if (switching_ends_version_ != topo_->version()) {
+    std::set<std::uint64_t> switching_ends;
+    for (phy::LinkId id : plant_->link_ids()) {
+      const phy::LogicalLink& l = plant_->link(id);
+      const auto key = [](phy::CableId c, phy::NodeId n) {
+        return (static_cast<std::uint64_t>(c) << 32) | n;
+      };
+      switching_ends.insert(key(l.segments().front().cable, l.end_a()));
+      switching_ends.insert(key(l.segments().back().cable, l.end_b()));
+    }
+    switching_ends_ = switching_ends.size();
+    switching_ends_version_ = topo_->version();
   }
+  return switching_ends_;
+}
+
+double Network::switch_power_watts(SimTime window) const {
+  // Static: every cable end in switching use costs a port (cached
+  // against the topology version; see switching_port_count).
   const double static_w =
-      config_.switch_params.port_static_w * static_cast<double>(switching_ends.size());
+      config_.switch_params.port_static_w * static_cast<double>(switching_port_count());
   // Dynamic: bits switched in the trailing window. Remember the widest
   // window ever queried so the append-side pruning keeps enough log.
   power_retention_ = std::max(power_retention_, window);

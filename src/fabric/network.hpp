@@ -114,6 +114,18 @@ class Network {
   [[nodiscard]] std::uint64_t flows_failed() const { return flows_failed_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
+  /// Flow-slot pool observability: total slots ever allocated and how
+  /// many are currently free. A long-lived service churning millions
+  /// of flows holds slots() at its peak concurrency, not its flow
+  /// count — completed slots recycle through a free list like probes.
+  [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
+  [[nodiscard]] std::size_t free_flow_slots() const { return free_flow_slots_.size(); }
+
+  /// Physical switching ports currently in use (one per cable end that
+  /// terminates in switching logic). Cached against the topology
+  /// version — lane-state and reconfig mutations invalidate it.
+  [[nodiscard]] std::size_t switching_port_count() const;
+
  private:
   struct FlowState {
     FlowSpec spec;
@@ -122,6 +134,10 @@ class Network {
     std::uint64_t next_seq = 0;
     std::uint64_t delivered = 0;
     std::uint64_t retransmits = 0;
+    /// Packets injected and not yet delivered or dropped (a lost
+    /// packet awaiting retransmit still counts). A slot recycles only
+    /// at done && inflight == 0, so no in-flight packet can ever see
+    /// its slot reused.
     int inflight = 0;
     rsf::sim::SimTime started = rsf::sim::SimTime::zero();
     bool failed = false;
@@ -155,6 +171,18 @@ class Network {
   void retransmit(Packet pkt);
   void flow_packet_delivered(std::uint32_t flow_idx);
   void finish_flow(std::uint32_t flow_idx, bool failed);
+  /// Release the slot to the free list once the flow is done and its
+  /// last straggler packet has drained.
+  void maybe_recycle_flow(std::uint32_t flow_idx);
+  /// The flow a packet belongs to, or nullptr when the slot has been
+  /// recycled since (defensive: the id generation check makes stale
+  /// dense indices harmless).
+  [[nodiscard]] FlowState* live_flow(const Packet& pkt) {
+    if (pkt.flow_idx < 0) return nullptr;
+    const auto idx = static_cast<std::uint32_t>(pkt.flow_idx);
+    if (idx >= flows_.size() || flows_[idx].spec.id != pkt.flow) return nullptr;
+    return &flows_[idx];
+  }
   void record_switched_bits(const Packet& pkt);
 
   /// A port is one cable end in switching use: every link has exactly
@@ -184,9 +212,10 @@ class Network {
   // FlowId -> index resolver used at start_flow time.
   std::vector<PortState> ports_;        // 2 slots per link: [link*2 + side]
   std::vector<LinkUse> link_use_;       // by LinkId
-  std::vector<FlowState> flows_;        // by Packet::flow_idx, append-only
+  std::vector<FlowState> flows_;        // by Packet::flow_idx, slots reused
   std::vector<ProbeState> probes_;      // by Packet::probe_idx, slots reused
   std::vector<std::uint32_t> free_probe_slots_;
+  std::vector<std::uint32_t> free_flow_slots_;
   std::unordered_map<FlowId, std::uint32_t> flow_index_;  // cold: start_flow only
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t flows_completed_ = 0;
@@ -205,6 +234,12 @@ class Network {
   rsf::sim::SimTime switched_bits_pruned_time_ = rsf::sim::SimTime::zero();
   mutable rsf::sim::SimTime power_retention_ = rsf::sim::SimTime::milliseconds(1);
 
+  // Static switching-end count, cached against the topology version
+  // (0 = never computed; real versions start at 1). Lane-state and
+  // reconfig mutations bump the version and invalidate it.
+  mutable std::uint64_t switching_ends_version_ = 0;
+  mutable std::size_t switching_ends_ = 0;
+
   // Instruments live in the registry (owned locally only when the
   // caller supplied none). Declared after own_registry_ so the
   // references initialize against a live registry.
@@ -214,6 +249,11 @@ class Network {
   telemetry::Histogram& flow_completion_;
   telemetry::Histogram& hop_counts_;
   telemetry::CounterSet& counters_;
+  // Per-packet hot-path counter slots (stable references into
+  // counters_; see CounterSet::slot).
+  std::uint64_t& injected_slot_;
+  std::uint64_t& delivered_slot_;
+  std::uint64_t& probes_slot_;
 };
 
 }  // namespace rsf::fabric

@@ -34,6 +34,21 @@ class DataSize {
   [[nodiscard]] constexpr std::int64_t bit_count() const { return bits_; }
   [[nodiscard]] constexpr double byte_count() const { return static_cast<double>(bits_) / 8.0; }
 
+  /// Packets needed to carry this payload at `packet_size` (ceiling
+  /// division; the last packet may be short). Both transports —
+  /// Network flows and the fleet's packetized spine streams — cut
+  /// payloads through these two helpers so their packet arithmetic
+  /// can never diverge. Requires packet_size > 0.
+  [[nodiscard]] constexpr std::int64_t packet_count(DataSize packet_size) const {
+    return (bits_ + packet_size.bits_ - 1) / packet_size.bits_;
+  }
+  /// Size of 0-based packet `seq` when this payload is cut into
+  /// `packet_size` packets: full packets, then the short tail.
+  [[nodiscard]] constexpr DataSize packet_at(std::int64_t seq, DataSize packet_size) const {
+    const std::int64_t remaining = bits_ - seq * packet_size.bits_;
+    return remaining >= packet_size.bits_ ? packet_size : DataSize(remaining);
+  }
+
   constexpr auto operator<=>(const DataSize&) const = default;
 
   friend constexpr DataSize operator+(DataSize a, DataSize b) { return DataSize(a.bits_ + b.bits_); }

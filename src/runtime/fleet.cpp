@@ -13,6 +13,15 @@ FleetRuntime::FleetRuntime(FleetConfig config) : config_(std::move(config)) {
   if (config_.racks.empty()) {
     throw std::invalid_argument("FleetRuntime: need at least one rack");
   }
+  if (config_.flow_window < 1) {
+    throw std::invalid_argument("FleetRuntime: flow_window < 1");
+  }
+  if (config_.max_retries < 0) {
+    throw std::invalid_argument("FleetRuntime: negative max_retries");
+  }
+  if (config_.retry_delay < SimTime::zero()) {
+    throw std::invalid_argument("FleetRuntime: negative retry_delay");
+  }
   racks_.reserve(config_.racks.size());
   for (const RackSpec& spec : config_.racks) {
     racks_.push_back(std::make_unique<FabricRuntime>(&sim_, spec.config));
@@ -23,7 +32,7 @@ FleetRuntime::FleetRuntime(FleetConfig config) : config_(std::move(config)) {
       throw std::invalid_argument("FleetRuntime: gateway outside rack " + std::to_string(i));
     }
   }
-  spine_ = std::make_unique<fabric::Interconnect>(&sim_, &registry_);
+  spine_ = std::make_unique<fabric::Interconnect>(&sim_, &registry_, config_.seed);
   for (const SpineSpec& s : config_.spine) {
     if (s.rack_a >= racks_.size() || s.rack_b >= racks_.size()) {
       throw std::invalid_argument("FleetRuntime: spine link references unknown rack");
@@ -37,13 +46,26 @@ FleetRuntime::FleetRuntime(FleetConfig config) : config_(std::move(config)) {
     }
     p.rate = s.rate;
     p.latency = s.latency;
+    p.loss_prob = s.loss_prob;
+    p.cost = s.cost;
     spine_->add_link(p);
+  }
+  if (config_.enable_controller) {
+    controller_ = std::make_unique<FleetController>(&sim_, spine_.get(),
+                                                    config_.controller, &registry_);
   }
 }
 
 FabricRuntime& FleetRuntime::rack(std::size_t i) {
   if (i >= racks_.size()) throw std::out_of_range("FleetRuntime: unknown rack");
   return *racks_[i];
+}
+
+FleetController& FleetRuntime::controller() {
+  if (controller_ == nullptr) {
+    throw std::logic_error("FleetRuntime: built with enable_controller = false");
+  }
+  return *controller_;
 }
 
 phy::NodeId FleetRuntime::gateway(std::uint32_t rack) const {
@@ -57,10 +79,12 @@ fabric::RackNode FleetRuntime::at(std::uint32_t rack_idx, int x, int y) {
 
 void FleetRuntime::start() {
   for (auto& r : racks_) r->start();
+  if (controller_) controller_->start();
 }
 
 void FleetRuntime::stop() {
   for (auto& r : racks_) r->stop();
+  if (controller_) controller_->stop();
 }
 
 void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_complete) {
@@ -79,20 +103,220 @@ void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_co
   state.spec = spec;
   state.on_complete = std::move(on_complete);
   state.at = spec.src;
+  state.packets_total =
+      static_cast<std::uint64_t>(spec.size.packet_count(spec.packet_size));
   const auto idx = static_cast<std::uint32_t>(flows_.size());
   flows_.push_back(std::move(state));
   sim_.schedule_at(std::max(spec.start, sim_.now()), [this, idx] {
     FleetFlowState& f = flows_[idx];
     f.started = sim_.now();
-    const auto path = spine_->route(f.spec.src.rack, f.spec.dst.rack);
-    if (!path) {  // no usable spine path
-      finish_fleet_flow(idx, true);
+    // Same-rack flows collapse to one plain Network flow in either
+    // transport mode: a 1-shard fleet stays identical to a standalone
+    // FabricRuntime.
+    if (f.spec.src.rack == f.spec.dst.rack ||
+        config_.transport == SpineTransport::kStoreAndForward) {
+      const auto path = spine_->route(f.spec.src.rack, f.spec.dst.rack);
+      if (!path) {  // no usable spine path
+        finish_fleet_flow(idx, true);
+        return;
+      }
+      f.path = *path;
+      advance(idx);
       return;
     }
-    f.path = *path;
-    advance(idx);
+    // pump_packets resolves the route itself and fails the flow
+    // cleanly when the fleet is partitioned.
+    pump_packets(idx);
   });
 }
+
+// ---------------------------------------------------------------------------
+// Packetized spine transport: each packet runs its own rack-leg /
+// spine-hop event chain; the flow windows packets across the whole
+// path (cut-through pipelining across stages).
+// ---------------------------------------------------------------------------
+
+void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
+  while (true) {
+    FleetFlowState& f = flows_[flow_idx];
+    if (f.done || f.inflight >= config_.flow_window || f.next_seq >= f.packets_total) {
+      return;
+    }
+    // The route is resolved against the spine version: controller
+    // repricing (a version bump) redirects the very next packet, and
+    // between bumps every packet shares one immutable path (refcount,
+    // not a per-packet vector copy).
+    if (!f.route || f.route_version != spine_->version()) {
+      auto route = spine_->route(f.spec.src.rack, f.spec.dst.rack);
+      if (!route) {
+        finish_fleet_flow(flow_idx, true);
+        return;
+      }
+      f.route = std::make_shared<const std::vector<fabric::SpineLinkId>>(
+          std::move(*route));
+      f.route_version = spine_->version();
+    }
+    std::uint32_t pkt_idx;
+    if (!free_packet_slots_.empty()) {
+      pkt_idx = free_packet_slots_.back();
+      free_packet_slots_.pop_back();
+    } else {
+      pkt_idx = static_cast<std::uint32_t>(packets_.size());
+      packets_.emplace_back();
+    }
+    FleetPacket& pkt = packets_[pkt_idx];
+    pkt.flow_idx = flow_idx;
+    pkt.size = f.spec.size.packet_at(static_cast<std::int64_t>(f.next_seq),
+                                     f.spec.packet_size);
+    pkt.path = f.route;
+    pkt.next_hop = 0;
+    pkt.at = f.spec.src;
+    pkt.leg_to = phy::kInvalidNode;
+    pkt.rack_legs = 0;
+    pkt.spine_hops = 0;
+    pkt.retries = 0;
+    ++f.next_seq;
+    ++f.inflight;
+    packet_step(pkt_idx);
+  }
+}
+
+std::uint32_t FleetRuntime::release_packet(std::uint32_t pkt_idx) {
+  const std::uint32_t flow_idx = packets_[pkt_idx].flow_idx;
+  --flows_[flow_idx].inflight;
+  packets_[pkt_idx].path.reset();  // drop the route refcount early
+  free_packet_slots_.push_back(pkt_idx);
+  return flow_idx;
+}
+
+/// Move one packet one stage further: the rack leg toward the current
+/// rack's exit gateway (or the final destination), else the next spine
+/// crossing, else delivery. A dead next hop re-plans from the rack the
+/// packet is in.
+void FleetRuntime::packet_step(std::uint32_t pkt_idx) {
+  FleetPacket& pkt = packets_[pkt_idx];
+  FleetFlowState& f = flows_[pkt.flow_idx];
+  if (f.done) {  // flow already failed; the packet evaporates
+    release_packet(pkt_idx);
+    return;
+  }
+  if (pkt.next_hop < pkt.path->size()) {
+    const fabric::SpineLinkId hop = (*pkt.path)[pkt.next_hop];
+    if (!spine_->link_up(hop)) {
+      // Mid-flight spine failure: re-plan from where the packet is.
+      auto replan = spine_->route(pkt.at.rack, f.spec.dst.rack);
+      if (!replan) {
+        packet_failed(pkt_idx);
+        return;
+      }
+      ++spine_reroutes_slot_;
+      pkt.path = std::make_shared<const std::vector<fabric::SpineLinkId>>(
+          std::move(*replan));
+      pkt.next_hop = 0;
+      packet_step(pkt_idx);  // depth bounded by the rack count
+      return;
+    }
+    const fabric::SpineLinkParams& lp = spine_->link(hop);
+    const fabric::RackNode exit = lp.a.rack == pkt.at.rack ? lp.a : lp.b;
+    if (pkt.at.node != exit.node) {
+      packet_rack_leg(pkt_idx, exit.node);
+      return;
+    }
+    packet_spine_hop(pkt_idx);
+    return;
+  }
+  if (pkt.at.node != f.spec.dst.node) {
+    packet_rack_leg(pkt_idx, f.spec.dst.node);
+    return;
+  }
+  packet_delivered(pkt_idx);
+}
+
+void FleetRuntime::packet_rack_leg(std::uint32_t pkt_idx, phy::NodeId to) {
+  FleetPacket& pkt = packets_[pkt_idx];
+  pkt.leg_to = to;
+  // [this, pkt_idx] fits std::function's inline buffer: no per-stage
+  // heap allocation on the packet hot path.
+  racks_[pkt.at.rack]->network().send_probe(
+      pkt.at.node, to, pkt.size,
+      [this, pkt_idx](SimTime, int, bool delivered) {
+        FleetPacket& p = packets_[pkt_idx];
+        if (flows_[p.flow_idx].done) {
+          release_packet(pkt_idx);
+          return;
+        }
+        if (!delivered) {  // the rack fabric exhausted its own retries
+          packet_retry(pkt_idx);
+          return;
+        }
+        p.at.node = p.leg_to;
+        ++p.rack_legs;
+        packet_step(pkt_idx);
+      });
+}
+
+void FleetRuntime::packet_spine_hop(std::uint32_t pkt_idx) {
+  FleetPacket& pkt = packets_[pkt_idx];
+  const fabric::SpineLinkId hop = (*pkt.path)[pkt.next_hop];
+  const std::uint32_t from_rack = pkt.at.rack;
+  const bool ok = spine_->send_packet(
+      hop, from_rack, pkt.size, [this, pkt_idx](SimTime, bool delivered) {
+        FleetPacket& p = packets_[pkt_idx];
+        if (flows_[p.flow_idx].done) {
+          release_packet(pkt_idx);
+          return;
+        }
+        if (!delivered) {  // spine loss: the fleet layer retransmits
+          packet_retry(pkt_idx);
+          return;
+        }
+        const fabric::SpineLinkId crossed = (*p.path)[p.next_hop];
+        p.at = spine_->far_end(crossed, p.at.rack);
+        ++p.next_hop;
+        ++p.spine_hops;
+        packet_step(pkt_idx);
+      });
+  // packet_step checked link_up() synchronously, so a refusal means a
+  // logic regression — fail the flow rather than hang it.
+  if (!ok) packet_failed(pkt_idx);
+}
+
+void FleetRuntime::packet_retry(std::uint32_t pkt_idx) {
+  FleetPacket& pkt = packets_[pkt_idx];
+  if (pkt.retries >= config_.max_retries) {
+    packet_failed(pkt_idx);
+    return;
+  }
+  ++pkt.retries;
+  ++flows_[pkt.flow_idx].retransmits;
+  ++spine_retransmits_slot_;
+  sim_.schedule_after(config_.retry_delay, [this, pkt_idx] { packet_step(pkt_idx); });
+}
+
+void FleetRuntime::packet_delivered(std::uint32_t pkt_idx) {
+  const int rack_legs = packets_[pkt_idx].rack_legs;
+  const int spine_hops = packets_[pkt_idx].spine_hops;
+  const std::uint32_t flow_idx = release_packet(pkt_idx);
+  FleetFlowState& f = flows_[flow_idx];
+  ++f.delivered;
+  f.rack_legs = std::max(f.rack_legs, rack_legs);
+  f.spine_hops = std::max(f.spine_hops, spine_hops);
+  if (f.delivered == f.packets_total) {
+    finish_fleet_flow(flow_idx, false);
+    return;
+  }
+  pump_packets(flow_idx);
+}
+
+void FleetRuntime::packet_failed(std::uint32_t pkt_idx) {
+  const std::uint32_t flow_idx = release_packet(pkt_idx);
+  if (!flows_[flow_idx].done) finish_fleet_flow(flow_idx, true);
+}
+
+// ---------------------------------------------------------------------------
+// Store-and-forward transport (the PR 2 baseline) and the same-rack
+// collapse: the whole payload moves stage by stage.
+// ---------------------------------------------------------------------------
 
 /// Move the payload one stage further: the next intra-rack leg toward
 /// the current rack's exit gateway (or the final destination), else
@@ -151,12 +375,14 @@ void FleetRuntime::run_rack_leg(std::uint32_t flow_idx, phy::NodeId to) {
 
 void FleetRuntime::finish_fleet_flow(std::uint32_t flow_idx, bool failed) {
   FleetFlowState& f = flows_[flow_idx];
+  f.done = true;
   FleetFlowResult result;
   result.spec = f.spec;
   result.started = f.started;
   result.finished = sim_.now();
   result.rack_legs = f.rack_legs;
   result.spine_hops = f.spine_hops;
+  result.retransmits = f.retransmits;
   result.failed = failed;
   (failed ? flows_failed_ : flows_completed_)++;
   if (f.on_complete) {

@@ -7,20 +7,27 @@
 // ONE shared Simulator clock, so cross-rack causality is exact and
 // runs stay bit-for-bit deterministic.
 //
-// Cross-rack flows are staged: an intra-rack flow carries the bytes
-// from the source to its rack's gateway, the spine serializes them to
-// the next rack's gateway (store-and-forward at gateways — spine
-// transfers are bulk, not per-packet cut-through), and a final
-// intra-rack flow delivers them to the destination; multi-hop spine
-// paths chain gateway-to-gateway legs through intermediate racks.
-// Same-rack (src.rack == dst.rack) flows collapse to a plain Network
-// flow, so a 1-shard fleet is behaviourally identical to a standalone
+// Cross-rack transport is per-packet (SpineTransport::kPacketized, the
+// default): a fleet flow is packetized at the source and each packet
+// streams over the whole path — rack leg to the gateway, spine hop(s),
+// far rack leg — with cut-through pipelining across stages (while
+// packet k serializes on the spine, packet k+1 is already crossing the
+// source rack). The flow keeps at most `flow_window` packets in
+// flight; spine losses retransmit from the fleet layer; packets whose
+// next spine hop died mid-flight re-plan from the rack they are in (or
+// fail the flow deterministically when the fleet is partitioned).
+// Routes are resolved per packet through the Interconnect's memoized
+// route cache, so FleetController repricing shifts later packets onto
+// cheaper links. SpineTransport::kStoreAndForward keeps PR 2's staged
+// bulk pipeline as the comparison baseline. Same-rack (src.rack ==
+// dst.rack) flows collapse to a plain Network flow in both modes, so a
+// 1-shard fleet is behaviourally identical to a standalone
 // FabricRuntime.
 //
-// Telemetry: the fleet registry holds "spine.*" live, and metrics()
-// snapshots every shard's registry into it under "rack<N>." prefixes
-// ("rack0.net.packet_latency", "rack2.crc.rack_power_w") — one table
-// for the whole fleet.
+// Telemetry: the fleet registry holds "spine.*" and "fleet.*" live,
+// and metrics() snapshots every shard's registry into it under
+// "rack<N>." prefixes ("rack0.net.packet_latency",
+// "rack2.crc.rack_power_w") — one table for the whole fleet.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "fabric/interconnect.hpp"
+#include "runtime/fleet_controller.hpp"
 #include "runtime/runtime.hpp"
 #include "workload/crossrack.hpp"
 
@@ -47,11 +55,36 @@ struct SpineSpec {
   phy::NodeId gateway_b = phy::kInvalidNode;
   phy::DataRate rate = phy::DataRate::gbps(400);
   rsf::sim::SimTime latency = rsf::sim::SimTime::microseconds(1);
+  /// Per-packet loss probability on this spine hop (0 = lossless).
+  double loss_prob = 0.0;
+  /// Initial routing cost (the FleetController reprices live).
+  double cost = 1.0;
 };
+
+/// How fleet flows cross the spine. Packetized is the real model;
+/// store-and-forward is PR 2's staged bulk pipeline, kept as the
+/// comparison baseline (the ext8 bench reports both).
+enum class SpineTransport { kPacketized, kStoreAndForward };
 
 struct FleetConfig {
   std::vector<RackSpec> racks;
   std::vector<SpineSpec> spine;
+  SpineTransport transport = SpineTransport::kPacketized;
+  /// Packets a fleet flow keeps in flight across the whole path.
+  int flow_window = 16;
+  /// Per-packet retry budget (spine loss or rack-leg drop) before the
+  /// flow fails.
+  int max_retries = 16;
+  /// Delay before a lost packet re-enters the pipeline.
+  rsf::sim::SimTime retry_delay = rsf::sim::SimTime::microseconds(5);
+  /// Seeds the spine's loss sampler; racks derive their own streams
+  /// from their RackSpec configs, so adding a rack never perturbs
+  /// another rack's draws.
+  std::uint64_t seed = 1;
+  /// Construct the spine-aware FleetController. start() arms its
+  /// epoch loop.
+  bool enable_controller = false;
+  FleetControllerConfig controller{};
 };
 
 /// A fleet-level flow: size bytes from src to dst, possibly crossing
@@ -70,9 +103,12 @@ struct FleetFlowResult {
   FleetFlowSpec spec;
   rsf::sim::SimTime started = rsf::sim::SimTime::zero();
   rsf::sim::SimTime finished = rsf::sim::SimTime::zero();
-  /// Intra-rack legs run and spine links crossed.
+  /// Deepest intra-rack leg / spine crossing count any packet of the
+  /// flow traversed (for a bulk flow: the staged path itself).
   int rack_legs = 0;
   int spine_hops = 0;
+  /// Fleet-level retransmits (spine losses and rack-leg drops).
+  std::uint64_t retransmits = 0;
   bool failed = false;
 
   [[nodiscard]] rsf::sim::SimTime completion_time() const { return finished - started; }
@@ -97,13 +133,17 @@ class FleetRuntime {
   [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
   [[nodiscard]] FabricRuntime& rack(std::size_t i);
   [[nodiscard]] fabric::Interconnect& spine() { return *spine_; }
+  [[nodiscard]] bool has_controller() const { return controller_ != nullptr; }
+  /// Throws std::logic_error when built with enable_controller = false.
+  [[nodiscard]] FleetController& controller();
   [[nodiscard]] phy::NodeId gateway(std::uint32_t rack) const;
   /// Convenience (rack, node_at(x, y)) address.
   [[nodiscard]] fabric::RackNode at(std::uint32_t rack, int x, int y);
 
   // --- control ---
 
-  /// Arm every rack's CRC epoch loop (racks without one no-op).
+  /// Arm every rack's CRC epoch loop and the fleet controller (either
+  /// no-ops when absent).
   void start();
   void stop();
   std::size_t run_until(rsf::sim::SimTime until = rsf::sim::SimTime::infinity()) {
@@ -113,8 +153,9 @@ class FleetRuntime {
 
   // --- cross-rack transport ---
 
-  /// Start a fleet flow; the callback fires when the last leg lands
-  /// (or on the first failed leg / no spine route).
+  /// Start a fleet flow; the callback fires when the last packet lands
+  /// (or on deterministic failure: no spine route, spine partition
+  /// mid-flow, or retry exhaustion).
   void start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_complete = nullptr);
 
   // --- workloads (owned by the fleet, destroyed with it) ---
@@ -124,41 +165,98 @@ class FleetRuntime {
 
   // --- telemetry ---
 
-  /// The fleet registry: "spine.*" live, plus a fresh "rack<N>.*"
-  /// snapshot of every shard taken by this call. Prefixed entries are
-  /// refreshed in place, so instrument references stay valid across
-  /// calls (they are snapshots — re-call after running further).
+  /// The fleet registry: "spine.*" and "fleet.*" live, plus a fresh
+  /// "rack<N>.*" snapshot of every shard taken by this call. Prefixed
+  /// entries are refreshed in place, so instrument references stay
+  /// valid across calls (they are snapshots — re-call after running
+  /// further).
   [[nodiscard]] telemetry::Registry& metrics();
   /// One table with every rack's and the spine's instruments.
   [[nodiscard]] telemetry::Table metrics_table();
 
   [[nodiscard]] std::uint64_t flows_completed() const { return flows_completed_; }
   [[nodiscard]] std::uint64_t flows_failed() const { return flows_failed_; }
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
 
  private:
   struct FleetFlowState {
     FleetFlowSpec spec;
     FleetFlowCallback on_complete;
-    /// Remaining spine links, in crossing order.
+    rsf::sim::SimTime started = rsf::sim::SimTime::zero();
+    bool done = false;
+    // --- packetized transport ---
+    std::uint64_t packets_total = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t retransmits = 0;
+    int inflight = 0;
+    /// The flow's current route, shared by its packets (refcount, not
+    /// copy, per packet) and re-resolved when the spine version moves.
+    std::shared_ptr<const std::vector<fabric::SpineLinkId>> route;
+    std::uint64_t route_version = 0;
+    // --- store-and-forward transport (and result bookkeeping) ---
+    /// Remaining spine links, in crossing order (bulk mode only).
     std::vector<fabric::SpineLinkId> path;
     std::size_t next_hop = 0;
-    fabric::RackNode at;  // current position of the payload
-    rsf::sim::SimTime started = rsf::sim::SimTime::zero();
+    fabric::RackNode at;  // current position of the bulk payload
     int rack_legs = 0;
     int spine_hops = 0;
   };
 
+  /// One fleet packet in flight. Packets live in a dense recycled
+  /// pool (like Network's probes) so the per-stage continuations
+  /// capture only [this, pkt_idx] — small enough for std::function's
+  /// inline buffer, no heap allocation per stage.
+  struct FleetPacket {
+    std::uint32_t flow_idx = 0;
+    phy::DataSize size = phy::DataSize::zero();
+    /// Spine links still ahead of the packet (from path[next_hop] on).
+    /// Shared with the flow until a mid-flight re-plan clones it.
+    std::shared_ptr<const std::vector<fabric::SpineLinkId>> path;
+    std::size_t next_hop = 0;
+    fabric::RackNode at;
+    /// Destination node of the rack leg currently in flight.
+    phy::NodeId leg_to = phy::kInvalidNode;
+    int rack_legs = 0;
+    int spine_hops = 0;
+    int retries = 0;
+  };
+
+  // Packetized pipeline. Stages address packets by pool index; a
+  // packet's slot recycles at its terminal stage (delivery, failure,
+  // or evaporation after its flow already failed).
+  void pump_packets(std::uint32_t flow_idx);
+  void packet_step(std::uint32_t pkt_idx);
+  void packet_rack_leg(std::uint32_t pkt_idx, phy::NodeId to);
+  void packet_spine_hop(std::uint32_t pkt_idx);
+  void packet_delivered(std::uint32_t pkt_idx);
+  void packet_retry(std::uint32_t pkt_idx);
+  void packet_failed(std::uint32_t pkt_idx);
+  /// Drop the packet out of flight and recycle its slot; returns its
+  /// flow index.
+  std::uint32_t release_packet(std::uint32_t pkt_idx);
+
+  // Store-and-forward pipeline (and the same-rack collapse).
   void advance(std::uint32_t flow_idx);
   void run_rack_leg(std::uint32_t flow_idx, phy::NodeId to);
+
   void finish_fleet_flow(std::uint32_t flow_idx, bool failed);
 
   FleetConfig config_;
   rsf::sim::Simulator sim_;
   // Declared before the racks/spine: spine instruments point here.
   telemetry::Registry registry_;
+  // Fleet-layer accounting folded into the live "spine.*" set; cached
+  // slots keep the retry/reroute paths off the registry maps.
+  std::uint64_t& spine_retransmits_slot_ = registry_.counters("spine").slot("spine.retransmits");
+  std::uint64_t& spine_reroutes_slot_ =
+      registry_.counters("spine").slot("spine.packet_reroutes");
   std::vector<std::unique_ptr<FabricRuntime>> racks_;
   std::unique_ptr<fabric::Interconnect> spine_;
+  std::unique_ptr<FleetController> controller_;
   std::vector<FleetFlowState> flows_;  // dense, append-only per run
+  std::vector<FleetPacket> packets_;   // dense pool, slots recycled
+  std::vector<std::uint32_t> free_packet_slots_;
   fabric::FlowId next_leg_id_ = kLegFlowBase;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;

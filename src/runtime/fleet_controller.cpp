@@ -1,0 +1,97 @@
+#include "runtime/fleet_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rsf::runtime {
+
+using rsf::sim::SimTime;
+
+FleetController::FleetController(rsf::sim::Simulator* sim, fabric::Interconnect* spine,
+                                 FleetControllerConfig config,
+                                 telemetry::Registry* registry)
+    : sim_(sim),
+      spine_(spine),
+      config_(config),
+      own_registry_(registry ? nullptr : std::make_unique<telemetry::Registry>()),
+      registry_(registry ? registry : own_registry_.get()),
+      counters_(registry_->counters("fleet")),
+      util_series_(registry_->series("fleet.max_spine_util")) {
+  if (sim_ == nullptr || spine_ == nullptr) {
+    throw std::invalid_argument("FleetController: null simulator or spine");
+  }
+  if (config_.epoch <= SimTime::zero()) {
+    throw std::invalid_argument("FleetController: non-positive epoch");
+  }
+  if (config_.base_cost <= 0) {
+    throw std::invalid_argument("FleetController: non-positive base cost");
+  }
+}
+
+void FleetController::snapshot_busy() {
+  last_busy_.resize(spine_->link_count());
+  for (fabric::SpineLinkId id = 0; id < spine_->link_count(); ++id) {
+    const fabric::SpineLinkParams& p = spine_->link(id);
+    last_busy_[id][0] = spine_->busy_time(id, p.a.rack);
+    last_busy_[id][1] = spine_->busy_time(id, p.b.rack);
+  }
+}
+
+void FleetController::start() {
+  if (running_) return;
+  running_ = true;
+  snapshot_busy();  // open the first observation window at "now"
+  next_tick_ = sim_->schedule_weak_after(config_.epoch, [this] { tick(); });
+}
+
+void FleetController::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_->cancel(next_tick_);
+  next_tick_ = rsf::sim::kInvalidEventId;
+}
+
+void FleetController::tick() {
+  if (!running_) return;
+  const double epoch_s = std::max(config_.epoch.sec(), 1e-12);
+  // Links added since the last tick diff against a zero baseline.
+  const std::size_t known = last_busy_.size();
+  last_busy_.resize(spine_->link_count());
+  for (std::size_t i = known; i < last_busy_.size(); ++i) last_busy_[i] = {};
+
+  double max_util = 0.0;
+  for (fabric::SpineLinkId id = 0; id < spine_->link_count(); ++id) {
+    const fabric::SpineLinkParams& p = spine_->link(id);
+    const std::uint32_t rack_of[2] = {p.a.rack, p.b.rack};
+    double util = 0.0;
+    SimTime backlog = SimTime::zero();
+    for (int d = 0; d < 2; ++d) {
+      const SimTime busy = spine_->busy_time(id, rack_of[d]);
+      // busy_total is booked at send time, so an epoch that enqueued a
+      // deep FIFO can show > 1: that is pressure, and the cost should
+      // reflect it — no clamping here.
+      util = std::max(util, (busy - last_busy_[id][d]).sec() / epoch_s);
+      last_busy_[id][d] = busy;
+      backlog = std::max(backlog, spine_->queue_backlog(id, rack_of[d]));
+    }
+    max_util = std::max(max_util, util);
+    if (util >= config_.hot_threshold) counters_.add("fleet.hot_links");
+    const double cost = config_.base_cost + config_.utilization_weight * util +
+                        config_.backlog_weight_per_us * backlog.us();
+    if (std::abs(cost - spine_->link_cost(id)) > config_.cost_epsilon) {
+      // set_link_cost bumps the spine version: memoized routes drop
+      // and the packetized transport re-plans at its next packet.
+      spine_->set_link_cost(id, cost);
+      ++reprices_;
+      counters_.add("fleet.reprices");
+    }
+  }
+  last_max_util_ = max_util;
+  util_series_.record(sim_->now(), max_util);
+  ++epochs_;
+  counters_.add("fleet.epochs");
+  next_tick_ = sim_->schedule_weak_after(config_.epoch, [this] { tick(); });
+}
+
+}  // namespace rsf::runtime

@@ -1,0 +1,116 @@
+// rsf::runtime — the spine-aware fleet controller.
+//
+// A FleetController is the fleet's brain: a periodic control loop on
+// the shared clock that closes the gap PR 2 left open — racks adapted
+// independently and nothing repriced the spine. Every epoch it
+// observes each spine link's per-direction utilisation (serialization
+// time diffed between ticks) and queue backlog (how far ahead the FIFO
+// is booked), derives a congestion cost, and reprices the link through
+// Interconnect::set_link_cost. Repricing bumps the spine version,
+// which invalidates the memoized rack routes — so the per-packet
+// transport re-plans onto cheaper links at the next packet, shifting
+// traffic off hot spine links without touching any in-flight packet.
+//
+// The loop schedules weak events (like the CRC's epochs), so "run
+// until the workload drains" still terminates, and it draws no random
+// numbers: fleet runs stay bit-for-bit deterministic with the
+// controller on.
+//
+// Metrics land in the owning registry under "fleet.*":
+// fleet.epochs, fleet.reprices, fleet.hot_links (counters) and
+// fleet.max_spine_util (time series).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/interconnect.hpp"
+#include "sim/event.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/series.hpp"
+
+namespace rsf::runtime {
+
+struct FleetControllerConfig {
+  /// Control epoch: how often spine links are observed and repriced.
+  rsf::sim::SimTime epoch = rsf::sim::SimTime::microseconds(100);
+  /// Cost floor every link returns to when idle.
+  double base_cost = 1.0;
+  /// Cost added per unit of utilisation (fraction of the epoch the
+  /// direction spent serializing; can exceed 1 when the FIFO is booked
+  /// ahead of real time).
+  double utilization_weight = 8.0;
+  /// Cost added per microsecond of queued backlog at the tick.
+  double backlog_weight_per_us = 0.25;
+  /// Reprice only when the derived cost moved more than this from the
+  /// link's current cost — hysteresis so stable load doesn't thrash
+  /// the route cache every epoch.
+  double cost_epsilon = 0.5;
+  /// Utilisation at or above which a link counts toward
+  /// "fleet.hot_links".
+  double hot_threshold = 0.7;
+};
+
+class FleetController {
+ public:
+  /// Metrics land in `registry` under "fleet.*" when one is supplied
+  /// (the FleetRuntime passes the fleet registry); without one the
+  /// controller owns a private registry, keeping direct construction
+  /// in unit tests working.
+  FleetController(rsf::sim::Simulator* sim, fabric::Interconnect* spine,
+                  FleetControllerConfig config = {},
+                  telemetry::Registry* registry = nullptr);
+
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  /// Begin epoch ticking. The first observation window opens now; the
+  /// first repricing decision lands one epoch later.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] std::uint64_t epochs_completed() const { return epochs_; }
+  [[nodiscard]] std::uint64_t reprices() const { return reprices_; }
+  [[nodiscard]] const FleetControllerConfig& config() const { return config_; }
+
+  /// Peak per-direction utilisation seen in the last completed epoch.
+  [[nodiscard]] double last_max_utilization() const { return last_max_util_; }
+
+  [[nodiscard]] const telemetry::CounterSet& counters() const { return counters_; }
+  [[nodiscard]] const telemetry::TimeSeries& utilization_series() const {
+    return util_series_;
+  }
+
+ private:
+  void tick();
+  /// Capture every direction's cumulative busy time as the baseline
+  /// the next tick diffs against (links added mid-run start cold).
+  void snapshot_busy();
+
+  rsf::sim::Simulator* sim_;
+  fabric::Interconnect* spine_;
+  FleetControllerConfig config_;
+
+  bool running_ = false;
+  rsf::sim::EventId next_tick_ = rsf::sim::kInvalidEventId;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t reprices_ = 0;
+  double last_max_util_ = 0.0;
+  /// Per link, per direction ([0]: leaving a.rack): busy_total at the
+  /// last tick.
+  std::vector<std::array<rsf::sim::SimTime, 2>> last_busy_;
+
+  // Instruments live in the registry (owned locally only when the
+  // caller supplied none).
+  std::unique_ptr<telemetry::Registry> own_registry_;
+  telemetry::Registry* registry_;
+  telemetry::CounterSet& counters_;
+  telemetry::TimeSeries& util_series_;
+};
+
+}  // namespace rsf::runtime

@@ -13,6 +13,14 @@ void CounterSet::add(std::string_view name, std::uint64_t delta) {
   }
 }
 
+std::uint64_t& CounterSet::slot(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
+}
+
 void CounterSet::set_gauge(std::string_view name, double value) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -52,8 +60,10 @@ void CounterSet::merge(const CounterSet& other) {
 }
 
 void CounterSet::reset() {
-  counters_.clear();
-  gauges_.clear();
+  // Zero in place rather than clear(): slot() references handed to
+  // hot paths must survive a reset.
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, value] : gauges_) value = 0;
 }
 
 std::string CounterSet::to_string() const {

@@ -17,6 +17,11 @@ class CounterSet {
   /// Add `delta` to counter `name`, creating it at zero first.
   void add(std::string_view name, std::uint64_t delta = 1);
 
+  /// Stable reference to counter `name` (created at zero). std::map
+  /// nodes never move, so per-packet hot paths cache the reference
+  /// once and bump it without the per-call name lookup.
+  [[nodiscard]] std::uint64_t& slot(std::string_view name);
+
   /// Set gauge `name` to `value`.
   void set_gauge(std::string_view name, double value);
 

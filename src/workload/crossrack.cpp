@@ -46,6 +46,7 @@ void CrossRackJob::launch(
         result_.job_completion = std::max(result_.job_completion, r.finished);
       }
       result_.spine_hops += static_cast<std::uint64_t>(r.spine_hops);
+      result_.retransmits += r.retransmits;
       if (--outstanding_ == 0) {
         std::sort(completion_times_.begin(), completion_times_.end());
         if (!completion_times_.empty()) {

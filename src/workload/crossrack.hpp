@@ -60,6 +60,8 @@ struct CrossRackResult {
   std::uint64_t cross_rack_flows = 0;
   /// Total spine links crossed, summed over flows.
   std::uint64_t spine_hops = 0;
+  /// Fleet-level retransmits (spine losses, rack-leg drops), summed.
+  std::uint64_t retransmits = 0;
 
   /// Straggler gap: how much the slowest transfer lags the median.
   [[nodiscard]] double straggler_ratio() const {

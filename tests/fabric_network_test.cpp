@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <optional>
 
 #include "fabric/builders.hpp"
@@ -274,6 +276,124 @@ TEST_F(NetFixture, SwitchPowerGrowsWithTraffic) {
   sim.run_until();
   EXPECT_TRUE(done);
   EXPECT_GT(busy, idle);
+}
+
+TEST_F(NetFixture, SwitchingPortCountCachesAgainstTopologyVersion) {
+  const std::size_t ports = rack.network->switching_port_count();
+  EXPECT_GT(ports, 0u);
+  const double idle = rack.network->switch_power_watts();
+
+  // Destroy a link behind the topology's back: the version does not
+  // move, so the cache (by design) still serves the old count.
+  const auto link = rack.topology->link_between(0, 1);
+  const auto other = rack.topology->link_between(1, 2);  // resolve first
+  ASSERT_TRUE(link.has_value());
+  ASSERT_TRUE(other.has_value());
+  rack.plant->destroy_link(*link);
+  EXPECT_EQ(rack.network->switching_port_count(), ports);
+
+  // A lane-state mutation (hard lane failure) bumps the version via
+  // the plant's change observer: the next query recomputes and sees
+  // the destroyed link gone — two cable ends stopped paying.
+  rack.plant->fail_lane({rack.plant->link(*other).segments().front().cable, 0});
+  EXPECT_EQ(rack.network->switching_port_count(), ports - 2);
+  EXPECT_LT(rack.network->switch_power_watts(), idle);
+
+  // A reconfig-style mutation (explicit rebuild) is a version bump
+  // too: repairing the lane and rebuilding keeps the count coherent.
+  rack.plant->repair_lane({rack.plant->link(*other).segments().front().cable, 0});
+  rack.topology->rebuild();
+  EXPECT_EQ(rack.network->switching_port_count(), ports - 2);
+}
+
+TEST_F(NetFixture, FlowSlotsRecycleThroughFreeList) {
+  // Four concurrent flows occupy four distinct slots while live...
+  for (FlowId id = 1; id <= 4; ++id) {
+    FlowSpec spec;
+    spec.id = id;
+    spec.src = 0;
+    spec.dst = 15;
+    spec.size = DataSize::kilobytes(64);
+    rack.network->start_flow(spec, nullptr);
+  }
+  EXPECT_EQ(rack.network->flow_slots(), 4u);
+  EXPECT_EQ(rack.network->free_flow_slots(), 0u);
+  sim.run_until();
+  EXPECT_EQ(rack.network->flows_completed(), 4u);
+  EXPECT_EQ(rack.network->free_flow_slots(), 4u);
+
+  // ...and a second wave reuses them instead of growing the pool.
+  // Completed ids are recycled, so restarting id 1 is legal now.
+  for (FlowId id = 1; id <= 4; ++id) {
+    FlowSpec spec;
+    spec.id = id;
+    spec.src = 0;
+    spec.dst = 15;
+    spec.size = DataSize::kilobytes(64);
+    rack.network->start_flow(spec, nullptr);
+  }
+  EXPECT_EQ(rack.network->flow_slots(), 4u);
+  EXPECT_EQ(rack.network->free_flow_slots(), 0u);
+  sim.run_until();
+  EXPECT_EQ(rack.network->flows_completed(), 8u);
+}
+
+TEST_F(NetFixture, MillionFlowChurnHoldsSlotPoolBounded) {
+  // A long-lived service's flow churn: one million short flows, at
+  // most `kWindow` alive at once, driven by completion callbacks. The
+  // pool must stay at the peak concurrency — NOT grow with the flow
+  // count — and no slot may ever be handed out while its flow lives.
+  constexpr std::uint64_t kFlows = 1'000'000;
+  constexpr int kWindow = 8;
+  std::uint64_t launched = 0;
+  std::uint64_t completed = 0;
+  std::size_t peak_slots = 0;
+  std::function<void()> launch_next = [&] {
+    if (launched >= kFlows) return;
+    FlowSpec spec;
+    spec.id = ++launched;
+    spec.src = 0;
+    spec.dst = 1;
+    spec.size = DataSize::bytes(1024);  // one packet per flow
+    rack.network->start_flow(spec, [&](const FlowResult& r) {
+      ASSERT_FALSE(r.failed);
+      ++completed;
+      peak_slots = std::max(peak_slots, rack.network->flow_slots());
+      launch_next();
+    });
+  };
+  for (int i = 0; i < kWindow; ++i) launch_next();
+  sim.run_until();
+  EXPECT_EQ(completed, kFlows);
+  EXPECT_EQ(rack.network->flows_completed(), kFlows);
+  // Bounded: finish_flow recycles the slot before invoking the
+  // completion callback, so the chained relaunch reuses it and the
+  // pool never exceeds the concurrency window.
+  EXPECT_LE(peak_slots, static_cast<std::size_t>(kWindow));
+  EXPECT_EQ(rack.network->flow_slots(), rack.network->free_flow_slots());
+}
+
+TEST_F(NetFixture, FailedFlowSlotRecyclesOnlyAfterStragglersDrain) {
+  // Unroutable flow: every packet burns its retry budget and drops.
+  // The first drop fails the flow; the slot must stay allocated until
+  // the other in-flight packets drain, then recycle.
+  for (phy::LinkId id : rack.topology->links_at(5)) {
+    rack.plant->fail_lane({rack.plant->link(id).segments().front().cable, 0});
+    rack.plant->fail_lane({rack.plant->link(id).segments().front().cable, 1});
+  }
+  FlowSpec spec;
+  spec.id = 1;
+  spec.src = 0;
+  spec.dst = 5;  // unreachable island
+  spec.size = DataSize::kilobytes(8);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->failed);
+  EXPECT_EQ(rack.network->flows_failed(), 1u);
+  // All packets accounted: the slot came back.
+  EXPECT_EQ(rack.network->free_flow_slots(), rack.network->flow_slots());
 }
 
 }  // namespace

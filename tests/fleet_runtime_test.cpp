@@ -102,10 +102,15 @@ TEST(FleetRuntime, CrossRackFlowDelivers) {
   // 3 us propagation put completion past the pure-latency floor.
   EXPECT_GT(result->completion_time(), 3_us);
   EXPECT_EQ(fleet.flows_completed(), 1u);
-  // Both shard networks saw traffic; the spine accounted the bytes.
-  EXPECT_GT(fleet.rack(0).network().flows_completed(), 0u);
-  EXPECT_GT(fleet.rack(1).network().flows_completed(), 0u);
-  EXPECT_EQ(fleet.spine().counters().get("spine.transfers"), 1u);
+  // Per-packet transport: every one of the 63 packets (64 kB SI at
+  // 1024 B) crossed both rack fabrics (as probes) and the spine
+  // individually.
+  EXPECT_EQ(fleet.rack(0).network().counters().get("net.probes"), 63u);
+  EXPECT_EQ(fleet.rack(1).network().counters().get("net.probes"), 63u);
+  EXPECT_EQ(fleet.spine().counters().get("spine.packets"), 63u);
+  EXPECT_EQ(fleet.spine().counters().get("spine.link0.packets"), 63u);
+  EXPECT_EQ(fleet.spine().link_packets(0, 0), 63u);
+  EXPECT_EQ(fleet.spine().link_packets(0, 1), 0u);  // one-directional flow
 }
 
 TEST(FleetRuntime, MultiHopSpineRoutesThroughIntermediateRack) {
@@ -136,7 +141,9 @@ TEST(FleetRuntime, MultiHopSpineRoutesThroughIntermediateRack) {
   EXPECT_FALSE(result->failed);
   EXPECT_EQ(result->spine_hops, 2);
   EXPECT_EQ(result->rack_legs, 3);  // rack0 egress, rack1 transit, rack2 ingress
-  EXPECT_GT(fleet.rack(1).network().flows_completed(), 0u);
+  // Packets transited rack 1's fabric between its two gateways.
+  EXPECT_GT(fleet.rack(1).network().counters().get("net.probes"), 0u);
+  EXPECT_GT(fleet.rack(1).network().counters().get("net.packets_delivered"), 0u);
 }
 
 TEST(FleetRuntime, DownSpineLinkFailsOrReroutes) {
@@ -231,7 +238,7 @@ TEST(FleetRuntime, RegistryExposesPrefixedRackAndSpineMetrics) {
     EXPECT_GT(counters->get(rack + ".net.packets_delivered"), 0u) << rack;
   }
   EXPECT_NE(metrics.find_counters("spine"), nullptr);
-  EXPECT_EQ(metrics.find_counters("spine")->get("spine.transfers"), 1u);
+  EXPECT_EQ(metrics.find_counters("spine")->get("spine.packets"), 16u);  // 16 kB / 1 KiB
   EXPECT_NE(metrics.find_histogram("spine.transfer_latency"), nullptr);
 
   // The snapshot matches the shard's own registry, and re-collecting
@@ -247,7 +254,7 @@ TEST(FleetRuntime, RegistryExposesPrefixedRackAndSpineMetrics) {
   const std::string table = fleet.metrics_table().to_string();
   EXPECT_NE(table.find("rack0.net.packet_latency"), std::string::npos);
   EXPECT_NE(table.find("rack1.net.packet_latency"), std::string::npos);
-  EXPECT_NE(table.find("spine.transfers"), std::string::npos);
+  EXPECT_NE(table.find("spine.packets"), std::string::npos);
 }
 
 TEST(FleetRuntime, SameRackFleetFlowCollapsesToPlainNetworkFlow) {
@@ -269,12 +276,220 @@ TEST(FleetRuntime, SameRackFleetFlowCollapsesToPlainNetworkFlow) {
   EXPECT_EQ(result->rack_legs, 1);
 }
 
+TEST(FleetRuntime, MidFlowSpineFailureReroutesInFlightPackets) {
+  // Triangle 0-1 (link 0), 1-2 (link 1), 0-2 (link 2). A long flow
+  // 0 -> 2 starts on the direct link; killing it mid-flow must re-plan
+  // the remaining packets through rack 1 and still complete.
+  FleetConfig fc;
+  for (int i = 0; i < 3; ++i) fc.racks.push_back(RackSpec{grid_config(), 0});
+  for (auto [a, b] : {std::pair{0, 1}, {1, 2}, {0, 2}}) {
+    SpineSpec s;
+    s.rack_a = static_cast<std::uint32_t>(a);
+    s.rack_b = static_cast<std::uint32_t>(b);
+    fc.spine.push_back(s);
+  }
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 3, 3);
+  spec.dst = fleet.at(2, 2, 2);
+  spec.size = DataSize::megabytes(1);  // ~1024 packets: far from done at 50 us
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.sim().schedule_at(50_us, [&] { fleet.spine().set_link_up(2, false); });
+  fleet.run_until();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  // Early packets took the direct hop, post-failure packets the detour.
+  EXPECT_EQ(result->spine_hops, 2);
+  const auto& c = fleet.spine().counters();
+  EXPECT_GT(c.get("spine.link2.packets"), 0u);
+  EXPECT_GT(c.get("spine.link0.packets"), 0u);
+  EXPECT_GT(c.get("spine.link1.packets"), 0u);
+  // At least one in-flight packet hit the dead hop and re-planned.
+  EXPECT_GE(c.get("spine.packet_reroutes"), 1u);
+  EXPECT_EQ(fleet.flows_completed(), 1u);
+}
+
+TEST(FleetRuntime, MidFlowSpinePartitionFailsDeterministically) {
+  // Two racks, one spine link: killing it mid-flow leaves no route.
+  // The flow must fail cleanly (callback fires, simulation drains).
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  fc.spine.push_back(s);
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 3, 3);
+  spec.dst = fleet.at(1, 2, 2);
+  spec.size = DataSize::megabytes(1);
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.sim().schedule_at(50_us, [&] { fleet.spine().set_link_up(0, false); });
+  fleet.run_until();  // must terminate, not hang on a stuck window
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->failed);
+  EXPECT_EQ(fleet.flows_failed(), 1u);
+  EXPECT_TRUE(fleet.sim().idle());
+}
+
+TEST(FleetRuntime, SpineLossRetransmitsUntilDelivered) {
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  s.loss_prob = 0.05;
+  fc.spine.push_back(s);
+  fc.seed = 7;
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 1, 1);
+  spec.dst = fleet.at(1, 2, 2);
+  spec.size = DataSize::kilobytes(256);  // 250 packets: losses certain
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.run_until();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_GT(result->retransmits, 0u);
+  const auto& c = fleet.spine().counters();
+  EXPECT_GT(c.get("spine.packet_drops"), 0u);
+  EXPECT_EQ(c.get("spine.retransmits"), result->retransmits);
+  // Every drop was re-sent: packets on the wire = clean packets + drops.
+  EXPECT_EQ(c.get("spine.packets"), 250u + c.get("spine.packet_drops"));
+  EXPECT_EQ(fleet.spine().link_drops(0, 0), c.get("spine.packet_drops"));
+}
+
+TEST(FleetRuntime, StoreAndForwardBaselineStillStages) {
+  FleetConfig fc;
+  fc.transport = runtime::SpineTransport::kStoreAndForward;
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  fc.racks.push_back(RackSpec{grid_config(), 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  fc.spine.push_back(s);
+  FleetRuntime fleet(fc);
+
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 3, 3);
+  spec.dst = fleet.at(1, 2, 2);
+  spec.size = DataSize::kilobytes(64);
+  std::optional<runtime::FleetFlowResult> result;
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.run_until();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->spine_hops, 1);
+  EXPECT_EQ(result->rack_legs, 2);
+  // Bulk mode: ONE spine transfer for the whole payload, and the rack
+  // legs run as real Network flows, not per-packet probes.
+  EXPECT_EQ(fleet.spine().counters().get("spine.transfers"), 1u);
+  EXPECT_EQ(fleet.spine().counters().get("spine.packets"), 0u);
+  EXPECT_GT(fleet.rack(0).network().flows_completed(), 0u);
+  EXPECT_GT(fleet.rack(1).network().flows_completed(), 0u);
+}
+
+/// Drive one fixed cross-rack workload against `fleet`; used by the
+/// determinism regressions below.
+void run_reference_shuffle(FleetRuntime& fleet) {
+  workload::CrossRackShuffleConfig cfg;
+  for (int x = 0; x < 3; ++x) cfg.mappers.push_back(fleet.at(0, x, 0));
+  for (int x = 0; x < 2; ++x) cfg.reducers.push_back(fleet.at(1, x, 3));
+  cfg.bytes_per_pair = DataSize::kilobytes(64);
+  auto& gen = fleet.rack(0).add_generator(
+      workload::TrafficMatrix::uniform(fleet.rack(0).node_count()), workload_config());
+  fleet.start();
+  gen.start();
+  fleet.add_shuffle(cfg).run(nullptr);
+  fleet.run_until();
+  fleet.stop();
+  fleet.run_until();
+}
+
+TEST(FleetRuntime, SameSeedRunsRenderByteIdenticalMetricsTables) {
+  // Loss on the spine exercises the spine RNG; the controller
+  // exercises repricing; both must be bit-for-bit reproducible.
+  auto make_config = [] {
+    FleetConfig fc;
+    fc.racks.push_back(RackSpec{grid_config(), 0});
+    fc.racks.push_back(RackSpec{grid_config(), 0});
+    SpineSpec s;
+    s.rack_a = 0;
+    s.rack_b = 1;
+    s.loss_prob = 0.02;
+    fc.spine.push_back(s);
+    fc.seed = 42;
+    fc.enable_controller = true;
+    fc.controller.epoch = 20_us;
+    return fc;
+  };
+  FleetRuntime a(make_config());
+  run_reference_shuffle(a);
+  FleetRuntime b(make_config());
+  run_reference_shuffle(b);
+  EXPECT_EQ(a.sim().executed(), b.sim().executed());
+  EXPECT_EQ(a.metrics_table().to_string(), b.metrics_table().to_string());
+}
+
+TEST(FleetRuntime, AddingARackDoesNotPerturbExistingRacksStreams) {
+  // The same workload runs in a 2-rack fleet and a 3-rack fleet (the
+  // extra rack idles): racks 0 and 1 must render byte-identical
+  // metrics, because every rack derives its own child streams
+  // (sim/random independence at fleet scope).
+  auto make_config = [](int racks) {
+    FleetConfig fc;
+    for (int i = 0; i < racks; ++i) fc.racks.push_back(RackSpec{grid_config(), 0});
+    SpineSpec s;
+    s.rack_a = 0;
+    s.rack_b = 1;
+    s.loss_prob = 0.02;
+    fc.spine.push_back(s);
+    fc.seed = 42;
+    return fc;
+  };
+  FleetRuntime two(make_config(2));
+  run_reference_shuffle(two);
+  FleetRuntime three(make_config(3));
+  run_reference_shuffle(three);
+  EXPECT_EQ(two.rack(0).metrics_table().to_string(),
+            three.rack(0).metrics_table().to_string());
+  EXPECT_EQ(two.rack(1).metrics_table().to_string(),
+            three.rack(1).metrics_table().to_string());
+}
+
 TEST(FleetRuntime, RejectsBadConfigs) {
   EXPECT_THROW(FleetRuntime(FleetConfig{}), std::invalid_argument);
 
   FleetConfig bad_gateway;
   bad_gateway.racks.push_back(RackSpec{grid_config(), 99});
   EXPECT_THROW(FleetRuntime{bad_gateway}, std::invalid_argument);
+
+  FleetConfig bad_window;
+  bad_window.racks.push_back(RackSpec{grid_config(), 0});
+  bad_window.flow_window = 0;
+  EXPECT_THROW(FleetRuntime{bad_window}, std::invalid_argument);
+
+  FleetConfig bad_retries;
+  bad_retries.racks.push_back(RackSpec{grid_config(), 0});
+  bad_retries.max_retries = -1;  // would disable the retry budget
+  EXPECT_THROW(FleetRuntime{bad_retries}, std::invalid_argument);
+
+  FleetConfig bad_delay;
+  bad_delay.racks.push_back(RackSpec{grid_config(), 0});
+  bad_delay.retry_delay = 0_us - 5_us;  // retries must not go backwards
+  EXPECT_THROW(FleetRuntime{bad_delay}, std::invalid_argument);
 
   FleetConfig bad_spine;
   bad_spine.racks.push_back(RackSpec{grid_config(), 0});
