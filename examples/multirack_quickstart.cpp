@@ -62,10 +62,15 @@ int main() {
   cfg.spine.push_back(s12);
 
   // The fleet controller: observe spine utilisation every 50 us,
-  // reprice links that run hot, let the route cache re-plan packets.
+  // reprice links that run hot, let the route cache re-plan packets —
+  // and promote persistently hot rack pairs into spine circuit
+  // reservations (a carved per-direction slice their packets ride,
+  // bypassing the shared FIFO), demoting them when they go idle.
   cfg.enable_controller = true;
   cfg.controller.epoch = 50_us;
   cfg.controller.utilization_weight = 8.0;
+  cfg.controller.reservations.enable = true;
+  cfg.controller.reservations.fraction = 0.5;
 
   runtime::FleetRuntime fleet(cfg);
   fleet.start();  // arm every rack's control loop + the fleet's
@@ -121,10 +126,14 @@ int main() {
               static_cast<unsigned long long>(spine->get("spine.packets")),
               static_cast<unsigned long long>(spine->get("spine.bytes")),
               static_cast<unsigned long long>(spine->get("spine.retransmits")));
-  std::printf("  controller: %llu epochs, %llu reprices, peak spine util %.2f\n\n",
+  std::printf("  controller: %llu epochs, %llu reprices, peak spine util %.2f\n",
               static_cast<unsigned long long>(fleet.controller().epochs_completed()),
               static_cast<unsigned long long>(fleet.controller().reprices()),
               fleet.controller().utilization_series().max_value());
+  std::printf("  circuits: %llu promotions, %llu demotions, %llu bytes on slices\n\n",
+              static_cast<unsigned long long>(fleet.controller().promotions()),
+              static_cast<unsigned long long>(fleet.controller().demotions()),
+              static_cast<unsigned long long>(spine->get("spine.reserved_bytes")));
 
   fleet.metrics_table().print();
   return 0;

@@ -29,6 +29,7 @@ Interconnect::Interconnect(rsf::sim::Simulator* sim, telemetry::Registry* regist
       packets_slot_(counters_.slot("spine.packets")),
       bytes_slot_(counters_.slot("spine.bytes")),
       drops_slot_(counters_.slot("spine.packet_drops")),
+      reserved_bytes_slot_(counters_.slot("spine.reserved_bytes")),
       transfer_latency_(registry->histogram("spine.transfer_latency")),
       queue_delay_(registry->histogram("spine.queue_delay")) {
   if (sim_ == nullptr) {
@@ -73,6 +74,19 @@ void Interconnect::set_link_up(SpineLinkId id, bool up) {
   links_[id].up = up;
   ++version_;
   counters_.add(up ? "spine.links_restored" : "spine.links_failed");
+  if (!up) {
+    // A failed link preempts every reservation pinned across it: the
+    // carve returns to the residual and holders' handles go stale, so
+    // their traffic falls back to the shared FIFO of whatever route
+    // the transport re-plans.
+    for (std::uint32_t idx = 0; idx < reservations_.size(); ++idx) {
+      Reservation& r = reservations_[idx];
+      if (!r.active) continue;
+      if (std::find(r.route.begin(), r.route.end(), id) == r.route.end()) continue;
+      teardown_reservation(idx);
+      counters_.add("spine.reservation_preemptions");
+    }
+  }
 }
 
 bool Interconnect::link_up(SpineLinkId id) const { return at(id).up; }
@@ -176,22 +190,155 @@ std::optional<std::vector<SpineLinkId>> Interconnect::compute_route(
   return path;
 }
 
-SimTime Interconnect::occupy(SpineLink& l, int d, phy::DataSize size) {
-  Direction& dir = l.dir[d];
+// ---------------------------------------------------------------------------
+// Circuit reservations.
+// ---------------------------------------------------------------------------
+
+std::optional<SpineReservationHandle> Interconnect::reserve(std::uint32_t src_rack,
+                                                            std::uint32_t dst_rack,
+                                                            double bandwidth_fraction) {
+  if (bandwidth_fraction <= 0 || bandwidth_fraction >= 1) {
+    throw std::invalid_argument("Interconnect: reservation fraction outside (0, 1)");
+  }
+  if (src_rack == dst_rack) return std::nullopt;
+  if (reservation_by_pair_.contains(pair_key(src_rack, dst_rack))) return std::nullopt;
+  auto route_opt = compute_route(src_rack, dst_rack);
+  if (!route_opt || route_opt->empty()) return std::nullopt;
+  const std::vector<SpineLinkId>& route = *route_opt;
+  // Admission: every crossed direction must keep a positive residual
+  // after the carve. Checked before any mutation, so a refused
+  // reservation leaves no partial carve behind.
+  std::vector<int> hop_dir(route.size());
+  std::uint32_t rack = src_rack;
+  for (std::size_t h = 0; h < route.size(); ++h) {
+    const SpineLink& l = at(route[h]);
+    const int d = direction_index(l, rack);
+    if (l.dir[d].reserved_fraction + bandwidth_fraction >= 1.0) {
+      counters_.add("spine.reservations_refused");
+      return std::nullopt;
+    }
+    hop_dir[h] = d;
+    rack = far_end(route[h], rack).rack;
+  }
+  for (std::size_t h = 0; h < route.size(); ++h) {
+    links_[route[h]].dir[hop_dir[h]].reserved_fraction += bandwidth_fraction;
+  }
+  std::uint32_t idx;
+  if (!free_reservation_slots_.empty()) {
+    idx = free_reservation_slots_.back();
+    free_reservation_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(reservations_.size());
+    reservations_.emplace_back();
+  }
+  Reservation& r = reservations_[idx];
+  r.src_rack = src_rack;
+  r.dst_rack = dst_rack;
+  r.fraction = bandwidth_fraction;
+  r.active = true;
+  r.route = route;
+  r.hop_dir = std::move(hop_dir);
+  r.hop_busy_until.assign(route.size(), SimTime::zero());
+  reservation_by_pair_[pair_key(src_rack, dst_rack)] = idx;
+  ++active_reservations_;
+  ++reservation_version_;
+  counters_.add("spine.reservations");
+  return SpineReservationHandle{idx, r.generation};
+}
+
+void Interconnect::teardown_reservation(std::uint32_t idx) {
+  Reservation& r = reservations_[idx];
+  for (std::size_t h = 0; h < r.route.size(); ++h) {
+    double& carved = links_[r.route[h]].dir[r.hop_dir[h]].reserved_fraction;
+    carved -= r.fraction;
+    // Float hygiene: a direction whose last reservation left must
+    // serialize at exactly the full link rate again.
+    if (carved < 1e-12) carved = 0.0;
+  }
+  reservation_by_pair_.erase(pair_key(r.src_rack, r.dst_rack));
+  r.active = false;
+  ++r.generation;  // stale-ify every outstanding handle
+  r.route.clear();
+  r.hop_dir.clear();
+  r.hop_busy_until.clear();
+  free_reservation_slots_.push_back(idx);
+  --active_reservations_;
+  ++reservation_version_;
+}
+
+void Interconnect::release(SpineReservationHandle handle) {
+  if (live_reservation(handle) == nullptr) return;  // stale: idempotent no-op
+  teardown_reservation(handle.id);
+  counters_.add("spine.reservation_releases");
+}
+
+const Interconnect::Reservation* Interconnect::live_reservation(
+    SpineReservationHandle h) const {
+  if (!h.valid() || h.id >= reservations_.size()) return nullptr;
+  const Reservation& r = reservations_[h.id];
+  return r.active && r.generation == h.generation ? &r : nullptr;
+}
+
+bool Interconnect::reservation_active(SpineReservationHandle handle) const {
+  return live_reservation(handle) != nullptr;
+}
+
+std::optional<SpineReservationHandle> Interconnect::find_reservation(
+    std::uint32_t src_rack, std::uint32_t dst_rack) const {
+  const auto it = reservation_by_pair_.find(pair_key(src_rack, dst_rack));
+  if (it == reservation_by_pair_.end()) return std::nullopt;
+  return SpineReservationHandle{it->second, reservations_[it->second].generation};
+}
+
+const std::vector<SpineLinkId>& Interconnect::reservation_route(
+    SpineReservationHandle handle) const {
+  const Reservation* r = live_reservation(handle);
+  if (r == nullptr) throw std::invalid_argument("Interconnect: stale reservation handle");
+  return r->route;
+}
+
+double Interconnect::reservation_fraction(SpineReservationHandle handle) const {
+  const Reservation* r = live_reservation(handle);
+  if (r == nullptr) throw std::invalid_argument("Interconnect: stale reservation handle");
+  return r->fraction;
+}
+
+double Interconnect::reserved_fraction(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  return l.dir[direction_index(l, from_rack)].reserved_fraction;
+}
+
+// ---------------------------------------------------------------------------
+// Transport.
+// ---------------------------------------------------------------------------
+
+SimTime Interconnect::occupy_fifo(SimTime& busy_until, phy::DataRate rate,
+                                  SimTime latency, phy::DataSize size) {
   const SimTime now = sim_->now();
-  const SimTime start = std::max(now, dir.busy_until);
-  const SimTime serialization = phy::transmission_time(size, l.params.rate);
-  dir.busy_until = start + serialization;
-  dir.busy_total += serialization;
-  const SimTime arrival = dir.busy_until + l.params.latency;
+  const SimTime start = std::max(now, busy_until);
+  const SimTime serialization = phy::transmission_time(size, rate);
+  busy_until = start + serialization;
+  const SimTime arrival = busy_until + latency;
   bytes_slot_ += static_cast<std::uint64_t>(std::max<std::int64_t>(0, size.bit_count() / 8));
   queue_delay_.record(start - now);
   transfer_latency_.record(arrival - now);
   return arrival;
 }
 
+SimTime Interconnect::occupy(SpineLink& l, int d, phy::DataSize size) {
+  Direction& dir = l.dir[d];
+  const SimTime before = dir.busy_until;
+  // × (1 − 0.0) is exact in IEEE arithmetic: with nothing reserved the
+  // residual serialization is bit-identical to the full-rate spine.
+  const SimTime arrival = occupy_fifo(
+      dir.busy_until, l.params.rate * (1.0 - dir.reserved_fraction), l.params.latency,
+      size);
+  dir.busy_total += dir.busy_until - std::max(sim_->now(), before);
+  return arrival;
+}
+
 bool Interconnect::send_packet(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
-                               PacketCallback cb) {
+                               SpineReservationHandle reservation, PacketCallback cb) {
   const SpineLink& l = at(id);
   const int d = direction_index(l, from_rack);
   if (!l.up) {
@@ -199,7 +346,25 @@ bool Interconnect::send_packet(SpineLinkId id, std::uint32_t from_rack, phy::Dat
     return false;
   }
   SpineLink& ml = links_[id];
-  const SimTime arrival = occupy(ml, d, size);
+  SimTime arrival = SimTime::zero();
+  bool reserved_slice = false;
+  if (const Reservation* r = live_reservation(reservation)) {
+    // The packet rides its circuit only on hops the reservation
+    // actually pinned in this direction; anything else (a re-planned
+    // detour, a stale handle) shares the residual like everyone.
+    for (std::size_t h = 0; h < r->route.size(); ++h) {
+      if (r->route[h] == id && r->hop_dir[h] == d) {
+        Reservation& mr = reservations_[reservation.id];
+        arrival = occupy_fifo(mr.hop_busy_until[h], ml.params.rate * r->fraction,
+                              ml.params.latency, size);
+        reserved_slice = true;
+        reserved_bytes_slot_ +=
+            static_cast<std::uint64_t>(std::max<std::int64_t>(0, size.bit_count() / 8));
+        break;
+      }
+    }
+  }
+  if (!reserved_slice) arrival = occupy(ml, d, size);
   ++ml.dir[d].packets;
   ++packets_slot_;
   ++*ml.packets_slot;

@@ -21,6 +21,20 @@
 // repricing hook) bump the version, so cached routes are invalidated
 // exactly when the graph or its prices change.
 //
+// Circuit-style capacity can be carved on top of the packetized
+// spine: reserve(src, dst, fraction) pins the current cheapest route
+// for a (rack, rack) pair and dedicates `fraction` of every crossed
+// link's capacity — in the direction of travel only — to that pair.
+// Packets sent under the reservation's versioned handle serialize on
+// the reservation's private per-hop FIFO at the carved rate,
+// bypassing the shared FIFO's contention, while unreserved traffic
+// sees the link's residual rate (rate × (1 − reserved fraction)).
+// Reservations survive repricing (the route is pinned) but are torn
+// down when any crossed link fails — their traffic falls back to the
+// shared residual via the stale-handle check. With no reservations
+// configured the shared path is arithmetically identical to the
+// pre-reservation spine: the packetized default is untouched.
+//
 // Metrics land in the owning registry under "spine.*", including
 // per-link packet counters ("spine.link3.packets") the fleet
 // controller tests assert traffic shifts against.
@@ -52,6 +66,20 @@ struct RackNode {
 };
 
 using SpineLinkId = std::uint32_t;
+
+/// Versioned handle to a spine circuit reservation. Slots are
+/// recycled; the generation detects a handle that outlived its
+/// reservation (released, or preempted by a link failure) — stale
+/// handles are safely inert everywhere they are accepted.
+struct SpineReservationHandle {
+  static constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+  std::uint32_t id = kInvalidId;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return id != kInvalidId; }
+  friend bool operator==(const SpineReservationHandle&,
+                         const SpineReservationHandle&) = default;
+};
 
 struct SpineLinkParams {
   /// The two gateway endpoints. a.rack != b.rack.
@@ -122,13 +150,90 @@ class Interconnect {
   [[nodiscard]] std::optional<std::vector<SpineLinkId>> compute_route(
       std::uint32_t src_rack, std::uint32_t dst_rack) const;
 
+  // --- circuit reservations ---
+
+  /// Carve `fraction` (0 < fraction < 1) of per-direction capacity for
+  /// the pair (src_rack, dst_rack) along the current cheapest route,
+  /// which is pinned for the reservation's lifetime. Fails (nullopt)
+  /// when src == dst, no route exists, the pair already holds a
+  /// reservation, or any crossed direction lacks the headroom (the
+  /// total carved fraction per direction must stay below 1). Bumps the
+  /// reservation version so transports re-check their pair bindings.
+  std::optional<SpineReservationHandle> reserve(std::uint32_t src_rack,
+                                                std::uint32_t dst_rack,
+                                                double bandwidth_fraction);
+
+  /// Tear the reservation down and return its capacity to the shared
+  /// residual. Stale handles are a no-op (release is idempotent and
+  /// races with failure-driven preemption are benign).
+  void release(SpineReservationHandle handle);
+
+  /// True while `handle` names a live reservation (same generation).
+  [[nodiscard]] bool reservation_active(SpineReservationHandle handle) const;
+
+  /// The live reservation for (src_rack, dst_rack), if any.
+  [[nodiscard]] std::optional<SpineReservationHandle> find_reservation(
+      std::uint32_t src_rack, std::uint32_t dst_rack) const;
+
+  /// The pinned route of a live reservation (crossing order).
+  /// Throws on stale handles — check reservation_active first.
+  [[nodiscard]] const std::vector<SpineLinkId>& reservation_route(
+      SpineReservationHandle handle) const;
+  [[nodiscard]] double reservation_fraction(SpineReservationHandle handle) const;
+
+  /// Live reservations right now.
+  [[nodiscard]] std::size_t reservation_count() const { return active_reservations_; }
+
+  /// Monotonic version of the reservation table: bumped by reserve(),
+  /// release(), and failure-driven preemption. Transports poll it to
+  /// adopt or drop a pair's reservation without a per-packet lookup.
+  /// Stays 0 while reservations are never used.
+  [[nodiscard]] std::uint64_t reservation_version() const { return reservation_version_; }
+
+  /// Fraction of direction (`id`, leaving `from_rack`) currently
+  /// carved out by reservations.
+  [[nodiscard]] double reserved_fraction(SpineLinkId id, std::uint32_t from_rack) const;
+
+  // --- per-pair demand (the controller's promotion input) ---
+
+  /// Stable reference to the pair's cumulative offered cross-rack
+  /// load (created at zero). The unit is byte·hops — payload bytes
+  /// weighted by the spine hops the route crosses, the pair's spine
+  /// resource footprint — so a long-haul pair is not under-ranked
+  /// against short-haul bursts whose small RTT lets them dominate
+  /// shared FIFOs. std::map nodes never move, so the FleetRuntime
+  /// resolves the slot once per route (re)resolution and bumps it per
+  /// packet with no map lookup (the CounterSet::slot idiom); the
+  /// FleetController diffs the totals between epochs to find
+  /// persistently hot pairs.
+  [[nodiscard]] std::uint64_t& pair_demand_slot(std::uint32_t src_rack,
+                                                std::uint32_t dst_rack) {
+    return pair_demand_[pair_key(src_rack, dst_rack)];
+  }
+  /// Cumulative demand per pair in byte·hops, keyed (src << 32) | dst.
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& pair_demand() const {
+    return pair_demand_;
+  }
+
+  // --- packet / bulk transport ---
+
   /// Occupy `id` in the direction leaving `from_rack` for one packet
   /// of `size` bytes: FIFO serialization at the link rate, then
   /// propagation; loss sampled from the link's loss_prob. `cb` fires
   /// at arrival either way. Returns false (no callback) when the link
   /// is down.
+  ///
+  /// When `reservation` is live and its pinned route crosses `id`
+  /// leaving `from_rack`, the packet serializes on the reservation's
+  /// private per-hop FIFO at the carved rate instead of the shared
+  /// residual FIFO. A stale or foreign handle falls back to the
+  /// shared residual — preempted traffic degrades, never errors.
   bool send_packet(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
-                   PacketCallback cb);
+                   SpineReservationHandle reservation, PacketCallback cb);
+  bool send_packet(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
+                   PacketCallback cb) {
+    return send_packet(id, from_rack, size, SpineReservationHandle{}, std::move(cb));
+  }
 
   /// Bulk store-and-forward transfer: the whole payload occupies the
   /// direction for its serialization time. Comparison baseline for
@@ -158,6 +263,22 @@ class Interconnect {
     rsf::sim::SimTime busy_total = rsf::sim::SimTime::zero();
     std::uint64_t packets = 0;
     std::uint64_t drops = 0;
+    /// Capacity carved out by reservations crossing this direction.
+    /// The shared FIFO serializes at rate × (1 − reserved_fraction);
+    /// 0 keeps the arithmetic identical to the unreserved spine.
+    double reserved_fraction = 0.0;
+  };
+  struct Reservation {
+    std::uint32_t src_rack = 0;
+    std::uint32_t dst_rack = 0;
+    double fraction = 0.0;
+    bool active = false;
+    std::uint32_t generation = 0;
+    /// Pinned route and, per hop, the direction index on that link
+    /// and the private FIFO's booking horizon.
+    std::vector<SpineLinkId> route;
+    std::vector<int> hop_dir;
+    std::vector<rsf::sim::SimTime> hop_busy_until;
   };
   struct SpineLink {
     SpineLinkParams params;
@@ -172,8 +293,20 @@ class Interconnect {
   [[nodiscard]] const SpineLink& at(SpineLinkId id) const;
   /// 0 when leaving params.a.rack, 1 when leaving params.b.rack.
   [[nodiscard]] int direction_index(const SpineLink& l, std::uint32_t from_rack) const;
-  /// Book one serialization on the direction; returns the arrival time.
+  /// Book one serialization on the FIFO behind `busy_until` at `rate`;
+  /// returns the arrival time and maintains the shared byte/latency
+  /// instruments.
+  rsf::sim::SimTime occupy_fifo(rsf::sim::SimTime& busy_until, phy::DataRate rate,
+                                rsf::sim::SimTime latency, phy::DataSize size);
+  /// Book one serialization on the shared residual FIFO of (l, d).
   rsf::sim::SimTime occupy(SpineLink& l, int d, phy::DataSize size);
+  [[nodiscard]] const Reservation* live_reservation(SpineReservationHandle h) const;
+  /// Tear one reservation down and return its carve (shared by
+  /// release() and failure-driven preemption).
+  void teardown_reservation(std::uint32_t idx);
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
 
   rsf::sim::Simulator* sim_;
   std::vector<SpineLink> links_;
@@ -184,11 +317,20 @@ class Interconnect {
   // stamp, so set_link_up / repricing cost one O(1) bump, not a walk.
   mutable std::uint64_t cache_version_ = 0;
   mutable std::map<std::uint64_t, std::optional<std::vector<SpineLinkId>>> route_cache_;
+  // Reservation table: dense slots recycled through a free list; the
+  // per-slot generation makes recycled handles detectably stale.
+  std::vector<Reservation> reservations_;
+  std::vector<std::uint32_t> free_reservation_slots_;
+  std::map<std::uint64_t, std::uint32_t> reservation_by_pair_;
+  std::size_t active_reservations_ = 0;
+  std::uint64_t reservation_version_ = 0;
+  std::map<std::uint64_t, std::uint64_t> pair_demand_;
   telemetry::CounterSet& counters_;
   // Hot-path counter slots (stable references into counters_).
   std::uint64_t& packets_slot_;
   std::uint64_t& bytes_slot_;
   std::uint64_t& drops_slot_;
+  std::uint64_t& reserved_bytes_slot_;
   telemetry::Histogram& transfer_latency_;
   telemetry::Histogram& queue_delay_;
 };

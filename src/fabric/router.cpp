@@ -43,7 +43,7 @@ double Router::cost(phy::LinkId link) const {
   return default_cost(link);
 }
 
-const Router::DistTable& Router::table_for(phy::NodeId dst) {
+Router::DistTable& Router::table_for(phy::NodeId dst) {
   // Callers guarantee dst < node_count(); tables_ is sized to match at
   // construction (node count is fixed for a rack's lifetime).
   DistTable& t = tables_[dst];
@@ -55,6 +55,7 @@ const Router::DistTable& Router::table_for(phy::NodeId dst) {
   t.topo_version = topo_->version();
   t.price_generation = price_generation_;
   t.dist.assign(n, kUnreachable);
+  t.next.assign(n, kNextUnknown);
 
   using Item = std::pair<double, phy::NodeId>;  // (dist, node)
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
@@ -91,8 +92,15 @@ std::optional<phy::LinkId> Router::next_hop(phy::NodeId at, phy::NodeId dst) {
 
 std::optional<phy::LinkId> Router::next_hop_min_cost(phy::NodeId at, phy::NodeId dst) {
   if (dst >= tables_.size()) return std::nullopt;
-  const DistTable& t = table_for(dst);
+  DistTable& t = table_for(dst);
   if (at >= t.dist.size() || t.dist[at] == kUnreachable) return std::nullopt;
+  // The per-(node, dst) argmin is memoized alongside dist and shares
+  // its validity: any topology-version bump (lane state, reconfig,
+  // reservations — set_reservation notifies the plant's observers) or
+  // price bump rebuilt the table above and reset next[] with it.
+  if (t.next[at] != kNextUnknown) {
+    return t.next[at] == kNextNone ? std::nullopt : std::optional(t.next[at]);
+  }
   double best = kUnreachable;
   std::optional<phy::LinkId> best_link;
   for (phy::LinkId id : topo_->links_at(at)) {
@@ -106,6 +114,7 @@ std::optional<phy::LinkId> Router::next_hop_min_cost(phy::NodeId at, phy::NodeId
       best_link = id;
     }
   }
+  t.next[at] = best_link.value_or(kNextNone);
   return best_link;
 }
 

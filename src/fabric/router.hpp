@@ -74,10 +74,22 @@ class Router {
     std::uint64_t price_generation = 0;
     // dist[node] = min cost node -> dst; kUnreachable if none.
     std::vector<double> dist;
+    // next[node] = memoized argmin next link node -> dst, filled
+    // lazily by next_hop_min_cost (kNextUnknown until asked, kNextNone
+    // when no usable hop exists). Shares the table's validity stamps:
+    // topology-version bumps — including reservation changes, which
+    // notify the plant's change observers — and price-generation
+    // bumps reset it with dist.
+    std::vector<phy::LinkId> next;
   };
 
+  /// next[] sentinels. Real LinkIds are dense small integers; these
+  /// two top values can never be allocated.
+  static constexpr phy::LinkId kNextUnknown = phy::kInvalidLink;
+  static constexpr phy::LinkId kNextNone = phy::kInvalidLink - 1;
+
   [[nodiscard]] double cost(phy::LinkId link) const;
-  const DistTable& table_for(phy::NodeId dst);
+  DistTable& table_for(phy::NodeId dst);
 
   const Topology* topo_;
   RoutingPolicy policy_;

@@ -299,7 +299,13 @@ void PhysicalPlant::set_fec(LinkId id, FecSpec fec) {
 }
 
 void PhysicalPlant::set_reservation(LinkId id, std::optional<std::uint64_t> flow) {
-  mutable_link(id).reserved_for_ = flow;
+  LogicalLink& l = mutable_link(id);
+  if (l.reserved_for_ == flow) return;
+  l.reserved_for_ = flow;
+  // Reservations change what public routing may use without changing
+  // the link set: notify, so topology versions bump and memoized
+  // routing state (dist tables, next-hop argmins) refreshes.
+  for (const auto& obs : change_observers_) obs();
 }
 
 void PhysicalPlant::account_bits(LinkId id, std::int64_t bits) {

@@ -126,7 +126,8 @@ class PhysicalPlant {
   void set_fec(LinkId id, FecSpec fec);
 
   /// Reserve a link for one flow (or clear with nullopt). See
-  /// LogicalLink::reserved_for.
+  /// LogicalLink::reserved_for. An effective change notifies the
+  /// change observers (routing caches key on the topology version).
   void set_reservation(LinkId id, std::optional<std::uint64_t> flow);
 
   // --- PLP #5: statistics ---

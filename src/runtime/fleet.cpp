@@ -105,10 +105,22 @@ void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_co
   state.at = spec.src;
   state.packets_total =
       static_cast<std::uint64_t>(spec.size.packet_count(spec.packet_size));
-  const auto idx = static_cast<std::uint32_t>(flows_.size());
-  flows_.push_back(std::move(state));
-  sim_.schedule_at(std::max(spec.start, sim_.now()), [this, idx] {
+  // Recycle a drained slot when one is free (bounded pool under flow
+  // churn); the slot keeps its generation so stale closures miss.
+  std::uint32_t idx;
+  if (!free_flow_slots_.empty()) {
+    idx = free_flow_slots_.back();
+    free_flow_slots_.pop_back();
+    state.gen = flows_[idx].gen;
+    flows_[idx] = std::move(state);
+  } else {
+    idx = static_cast<std::uint32_t>(flows_.size());
+    flows_.push_back(std::move(state));
+  }
+  const std::uint64_t gen = flows_[idx].gen;
+  sim_.schedule_at(std::max(spec.start, sim_.now()), [this, idx, gen] {
     FleetFlowState& f = flows_[idx];
+    if (f.gen != gen) return;  // slot recycled before the start fired
     f.started = sim_.now();
     // Same-rack flows collapse to one plain Network flow in either
     // transport mode: a 1-shard fleet stays identical to a standalone
@@ -137,23 +149,59 @@ void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_co
 // ---------------------------------------------------------------------------
 
 void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
+  // A packet reaching a terminal stage inside the loop can finish the
+  // flow, recycle the slot, and (through the completion callback)
+  // hand it to a brand-new flow — the generation detects that.
+  const std::uint64_t gen = flows_[flow_idx].gen;
   while (true) {
     FleetFlowState& f = flows_[flow_idx];
-    if (f.done || f.inflight >= config_.flow_window || f.next_seq >= f.packets_total) {
+    if (f.gen != gen || f.done || f.inflight >= config_.flow_window ||
+        f.next_seq >= f.packets_total) {
       return;
+    }
+    // Reservation binding: when the spine's reservation table moved,
+    // adopt (or drop) the pair's circuit. reservation_version() stays
+    // 0 until the first reserve(), so unreserved fleets never enter
+    // this branch and the default path is untouched.
+    if (f.reservation_version != spine_->reservation_version()) {
+      f.reservation_version = spine_->reservation_version();
+      f.reservation =
+          spine_->find_reservation(f.spec.src.rack, f.spec.dst.rack)
+              .value_or(fabric::SpineReservationHandle{});
+      f.route.reset();  // re-resolve: pinned circuit or shared route
     }
     // The route is resolved against the spine version: controller
     // repricing (a version bump) redirects the very next packet, and
     // between bumps every packet shares one immutable path (refcount,
-    // not a per-packet vector copy).
+    // not a per-packet vector copy). A live reservation pins its
+    // route instead — repricing cannot shift circuit traffic.
     if (!f.route || f.route_version != spine_->version()) {
-      auto route = spine_->route(f.spec.src.rack, f.spec.dst.rack);
-      if (!route) {
-        finish_fleet_flow(flow_idx, true);
-        return;
+      const bool reserved = spine_->reservation_active(f.reservation);
+      // A live reservation's route is immutable: copy it once when
+      // the flow binds, then just refresh the stamp across repricing
+      // version bumps instead of re-copying an identical vector every
+      // controller epoch.
+      if (!reserved || !f.route) {
+        if (reserved) {
+          f.route = std::make_shared<const std::vector<fabric::SpineLinkId>>(
+              spine_->reservation_route(f.reservation));
+        } else {
+          auto route = spine_->route(f.spec.src.rack, f.spec.dst.rack);
+          if (!route) {
+            finish_fleet_flow(flow_idx, true);
+            return;
+          }
+          f.route = std::make_shared<const std::vector<fabric::SpineLinkId>>(
+              std::move(*route));
+        }
+        // Demand slot rides the route resolution: cross-rack flows
+        // bump a stable byte·hop counter per packet (no map walk).
+        f.demand_hops = f.route->size();
+        f.demand_slot =
+            f.demand_hops > 0
+                ? &spine_->pair_demand_slot(f.spec.src.rack, f.spec.dst.rack)
+                : nullptr;
       }
-      f.route = std::make_shared<const std::vector<fabric::SpineLinkId>>(
-          std::move(*route));
       f.route_version = spine_->version();
     }
     std::uint32_t pkt_idx;
@@ -166,6 +214,8 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
     }
     FleetPacket& pkt = packets_[pkt_idx];
     pkt.flow_idx = flow_idx;
+    pkt.flow_gen = gen;
+    pkt.reservation = f.reservation;
     pkt.size = f.spec.size.packet_at(static_cast<std::int64_t>(f.next_seq),
                                      f.spec.packet_size);
     pkt.path = f.route;
@@ -175,6 +225,13 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
     pkt.rack_legs = 0;
     pkt.spine_hops = 0;
     pkt.retries = 0;
+    // Offered cross-rack load in byte·hops, the controller's
+    // promotion input.
+    if (f.demand_slot != nullptr) {
+      *f.demand_slot +=
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, pkt.size.bit_count() / 8)) *
+          f.demand_hops;
+    }
     ++f.next_seq;
     ++f.inflight;
     packet_step(pkt_idx);
@@ -182,9 +239,15 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
 }
 
 std::uint32_t FleetRuntime::release_packet(std::uint32_t pkt_idx) {
-  const std::uint32_t flow_idx = packets_[pkt_idx].flow_idx;
-  --flows_[flow_idx].inflight;
-  packets_[pkt_idx].path.reset();  // drop the route refcount early
+  FleetPacket& pkt = packets_[pkt_idx];
+  const std::uint32_t flow_idx = pkt.flow_idx;
+  if (FleetFlowState* f = live_flow(pkt)) {
+    --f->inflight;
+    // The last straggler of a finished flow returns the flow slot.
+    maybe_recycle_flow(flow_idx);
+  }
+  pkt.path.reset();  // drop the route refcount early
+  pkt.reservation = {};
   free_packet_slots_.push_back(pkt_idx);
   return flow_idx;
 }
@@ -195,11 +258,12 @@ std::uint32_t FleetRuntime::release_packet(std::uint32_t pkt_idx) {
 /// packet is in.
 void FleetRuntime::packet_step(std::uint32_t pkt_idx) {
   FleetPacket& pkt = packets_[pkt_idx];
-  FleetFlowState& f = flows_[pkt.flow_idx];
-  if (f.done) {  // flow already failed; the packet evaporates
+  FleetFlowState* fp = live_flow(pkt);
+  if (fp == nullptr || fp->done) {  // flow failed or recycled; evaporate
     release_packet(pkt_idx);
     return;
   }
+  FleetFlowState& f = *fp;
   if (pkt.next_hop < pkt.path->size()) {
     const fabric::SpineLinkId hop = (*pkt.path)[pkt.next_hop];
     if (!spine_->link_up(hop)) {
@@ -241,7 +305,8 @@ void FleetRuntime::packet_rack_leg(std::uint32_t pkt_idx, phy::NodeId to) {
       pkt.at.node, to, pkt.size,
       [this, pkt_idx](SimTime, int, bool delivered) {
         FleetPacket& p = packets_[pkt_idx];
-        if (flows_[p.flow_idx].done) {
+        const FleetFlowState* f = live_flow(p);
+        if (f == nullptr || f->done) {
           release_packet(pkt_idx);
           return;
         }
@@ -260,9 +325,11 @@ void FleetRuntime::packet_spine_hop(std::uint32_t pkt_idx) {
   const fabric::SpineLinkId hop = (*pkt.path)[pkt.next_hop];
   const std::uint32_t from_rack = pkt.at.rack;
   const bool ok = spine_->send_packet(
-      hop, from_rack, pkt.size, [this, pkt_idx](SimTime, bool delivered) {
+      hop, from_rack, pkt.size, pkt.reservation,
+      [this, pkt_idx](SimTime, bool delivered) {
         FleetPacket& p = packets_[pkt_idx];
-        if (flows_[p.flow_idx].done) {
+        const FleetFlowState* f = live_flow(p);
+        if (f == nullptr || f->done) {
           release_packet(pkt_idx);
           return;
         }
@@ -288,7 +355,7 @@ void FleetRuntime::packet_retry(std::uint32_t pkt_idx) {
     return;
   }
   ++pkt.retries;
-  ++flows_[pkt.flow_idx].retransmits;
+  if (FleetFlowState* f = live_flow(pkt)) ++f->retransmits;
   ++spine_retransmits_slot_;
   sim_.schedule_after(config_.retry_delay, [this, pkt_idx] { packet_step(pkt_idx); });
 }
@@ -309,8 +376,13 @@ void FleetRuntime::packet_delivered(std::uint32_t pkt_idx) {
 }
 
 void FleetRuntime::packet_failed(std::uint32_t pkt_idx) {
+  // Decide before releasing: if this was a finished flow's last
+  // straggler, release recycles the slot and flows_[flow_idx] would
+  // already belong to someone else.
+  const FleetFlowState* f = live_flow(packets_[pkt_idx]);
+  const bool fail_flow = f != nullptr && !f->done;
   const std::uint32_t flow_idx = release_packet(pkt_idx);
-  if (!flows_[flow_idx].done) finish_fleet_flow(flow_idx, true);
+  if (fail_flow) finish_fleet_flow(flow_idx, true);
 }
 
 // ---------------------------------------------------------------------------
@@ -333,9 +405,12 @@ void FleetRuntime::advance(std::uint32_t flow_idx) {
       return;
     }
     const std::uint32_t from_rack = f.at.rack;
-    const bool ok = spine_->transfer(hop, from_rack, f.spec.size, [this, flow_idx](SimTime) {
-      advance(flow_idx);
-    });
+    const std::uint64_t gen = f.gen;
+    const bool ok =
+        spine_->transfer(hop, from_rack, f.spec.size, [this, flow_idx, gen](SimTime) {
+          if (flows_[flow_idx].gen != gen) return;  // slot recycled since
+          advance(flow_idx);
+        });
     if (!ok) {  // spine link went down since routing
       finish_fleet_flow(flow_idx, true);
       return;
@@ -362,8 +437,10 @@ void FleetRuntime::run_rack_leg(std::uint32_t flow_idx, phy::NodeId to) {
   leg.packet_size = f.spec.packet_size;
   leg.start = sim_.now();
   ++f.rack_legs;
+  const std::uint64_t gen = f.gen;
   racks_[f.at.rack]->network().start_flow(
-      leg, [this, flow_idx, to](const fabric::FlowResult& r) {
+      leg, [this, flow_idx, gen, to](const fabric::FlowResult& r) {
+        if (flows_[flow_idx].gen != gen) return;  // slot recycled since
         if (r.failed) {
           finish_fleet_flow(flow_idx, true);
           return;
@@ -385,12 +462,27 @@ void FleetRuntime::finish_fleet_flow(std::uint32_t flow_idx, bool failed) {
   result.retransmits = f.retransmits;
   result.failed = failed;
   (failed ? flows_failed_ : flows_completed_)++;
-  if (f.on_complete) {
-    // Detach the callback before invoking: it may start new fleet
-    // flows and grow flows_, invalidating f.
-    FleetFlowCallback cb = std::move(f.on_complete);
-    cb(result);
-  }
+  // Detach the callback before invoking: it may start new fleet flows
+  // and grow flows_, invalidating f. Recycle first, so a callback that
+  // immediately starts another flow reuses this very slot (a finished
+  // packetized flow with stragglers still in flight keeps the slot via
+  // the inflight gate until the last one drains).
+  FleetFlowCallback cb = std::move(f.on_complete);
+  f.on_complete = nullptr;
+  maybe_recycle_flow(flow_idx);
+  if (cb) cb(result);
+}
+
+void FleetRuntime::maybe_recycle_flow(std::uint32_t flow_idx) {
+  FleetFlowState& f = flows_[flow_idx];
+  if (!f.done || f.inflight > 0) return;
+  const std::uint64_t next_gen = f.gen + 1;
+  // Reset the slot (drops the route/reservation refs); the bumped
+  // generation makes every closure that captured the old (idx, gen)
+  // pair detectably stale.
+  f = FleetFlowState{};
+  f.gen = next_gen;
+  free_flow_slots_.push_back(flow_idx);
 }
 
 workload::CrossRackShuffle& FleetRuntime::add_shuffle(workload::CrossRackShuffleConfig cfg) {

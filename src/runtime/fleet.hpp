@@ -24,6 +24,25 @@
 // 1-shard fleet is behaviourally identical to a standalone
 // FabricRuntime.
 //
+// Spine circuit reservations compose on top of the packetized path:
+// every pump a flow re-checks (against the spine's reservation
+// version, 0 while reservations are unused) whether its (src, dst)
+// rack pair holds a live reservation; if so the flow pins the
+// reservation's route and tags its packets with the versioned handle,
+// so they ride the carved per-hop slices instead of the shared
+// residual FIFOs. Preemption (spine link failure) makes the handle
+// stale: in-flight packets fall back to the shared residual and the
+// next pump re-plans the shared route. Offered cross-rack load is
+// noted per (src, dst) pair at packetization time — the
+// FleetController's promotion input.
+//
+// Completed fleet flows recycle their dense flows_ slots through a
+// free list (like Network::flows_): a slot returns when the flow is
+// done AND its last in-flight packet has drained, and a per-slot
+// generation makes any straggler closure (scheduled starts, rack-leg
+// and spine continuations) detectably stale, so a service churning
+// millions of fleet flows holds flows_ at peak concurrency.
+//
 // Telemetry: the fleet registry holds "spine.*" and "fleet.*" live,
 // and metrics() snapshots every shard's registry into it under
 // "rack<N>." prefixes ("rack0.net.packet_latency",
@@ -178,12 +197,21 @@ class FleetRuntime {
   [[nodiscard]] std::uint64_t flows_failed() const { return flows_failed_; }
   [[nodiscard]] const FleetConfig& config() const { return config_; }
 
+  /// Flow-slot pool observability (mirrors Network): total slots ever
+  /// allocated and how many are free right now. Churning millions of
+  /// fleet flows holds flow_slots() at peak concurrency.
+  [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
+  [[nodiscard]] std::size_t free_flow_slots() const { return free_flow_slots_.size(); }
+
  private:
   struct FleetFlowState {
     FleetFlowSpec spec;
     FleetFlowCallback on_complete;
     rsf::sim::SimTime started = rsf::sim::SimTime::zero();
     bool done = false;
+    /// Slot generation: bumped when the slot recycles, so closures
+    /// that captured (index, gen) detect a reused slot and stand down.
+    std::uint64_t gen = 0;
     // --- packetized transport ---
     std::uint64_t packets_total = 0;
     std::uint64_t next_seq = 0;
@@ -194,6 +222,16 @@ class FleetRuntime {
     /// copy, per packet) and re-resolved when the spine version moves.
     std::shared_ptr<const std::vector<fabric::SpineLinkId>> route;
     std::uint64_t route_version = 0;
+    /// The pair's spine reservation, re-checked when the spine's
+    /// reservation version moves (it stays 0 while reservations are
+    /// never used, so unreserved fleets skip the whole branch).
+    fabric::SpineReservationHandle reservation;
+    std::uint64_t reservation_version = 0;
+    /// Demand accounting resolved with the route: a stable slot into
+    /// the spine's pair-demand map plus the route's hop count, so the
+    /// per-packet byte·hop bump is a pointer add, not a map lookup.
+    std::uint64_t* demand_slot = nullptr;
+    std::uint64_t demand_hops = 0;
     // --- store-and-forward transport (and result bookkeeping) ---
     /// Remaining spine links, in crossing order (bulk mode only).
     std::vector<fabric::SpineLinkId> path;
@@ -209,6 +247,11 @@ class FleetRuntime {
   /// inline buffer, no heap allocation per stage.
   struct FleetPacket {
     std::uint32_t flow_idx = 0;
+    /// Generation of the flow slot at injection (stale-slot guard).
+    std::uint64_t flow_gen = 0;
+    /// The flow's reservation at injection; a handle gone stale by
+    /// arrival (preemption) degrades to the shared residual.
+    fabric::SpineReservationHandle reservation;
     phy::DataSize size = phy::DataSize::zero();
     /// Spine links still ahead of the packet (from path[next_hop] on).
     /// Shared with the flow until a mid-flight re-plan clones it.
@@ -241,6 +284,16 @@ class FleetRuntime {
   void run_rack_leg(std::uint32_t flow_idx, phy::NodeId to);
 
   void finish_fleet_flow(std::uint32_t flow_idx, bool failed);
+  /// Return the slot to the free list once the flow is done and its
+  /// last straggler packet has drained; bumps the slot generation.
+  void maybe_recycle_flow(std::uint32_t flow_idx);
+  /// The packet's flow, or nullptr when the slot was recycled since
+  /// (the inflight gate makes that impossible for live packets;
+  /// defensive, like Network::live_flow).
+  [[nodiscard]] FleetFlowState* live_flow(const FleetPacket& pkt) {
+    FleetFlowState& f = flows_[pkt.flow_idx];
+    return f.gen == pkt.flow_gen ? &f : nullptr;
+  }
 
   FleetConfig config_;
   rsf::sim::Simulator sim_;
@@ -254,7 +307,8 @@ class FleetRuntime {
   std::vector<std::unique_ptr<FabricRuntime>> racks_;
   std::unique_ptr<fabric::Interconnect> spine_;
   std::unique_ptr<FleetController> controller_;
-  std::vector<FleetFlowState> flows_;  // dense, append-only per run
+  std::vector<FleetFlowState> flows_;  // dense pool, slots recycled
+  std::vector<std::uint32_t> free_flow_slots_;
   std::vector<FleetPacket> packets_;   // dense pool, slots recycled
   std::vector<std::uint32_t> free_packet_slots_;
   fabric::FlowId next_leg_id_ = kLegFlowBase;

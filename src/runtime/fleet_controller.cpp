@@ -27,6 +27,15 @@ FleetController::FleetController(rsf::sim::Simulator* sim, fabric::Interconnect*
   if (config_.base_cost <= 0) {
     throw std::invalid_argument("FleetController: non-positive base cost");
   }
+  const FleetReservationPolicy& rp = config_.reservations;
+  if (rp.enable) {
+    if (rp.fraction <= 0 || rp.fraction >= 1) {
+      throw std::invalid_argument("FleetController: reservation fraction outside (0, 1)");
+    }
+    if (rp.promote_after < 1 || rp.demote_after < 1) {
+      throw std::invalid_argument("FleetController: non-positive hysteresis epochs");
+    }
+  }
 }
 
 void FleetController::snapshot_busy() {
@@ -89,9 +98,74 @@ void FleetController::tick() {
   }
   last_max_util_ = max_util;
   util_series_.record(sim_->now(), max_util);
+  if (config_.reservations.enable) run_reservation_policy();
   ++epochs_;
   counters_.add("fleet.epochs");
   next_tick_ = sim_->schedule_weak_after(config_.epoch, [this] { tick(); });
+}
+
+void FleetController::run_reservation_policy() {
+  const FleetReservationPolicy& rp = config_.reservations;
+  // Pass 1 — streaks and demotions. The demand map only ever grows,
+  // so iterating it visits every pair this fleet has offered
+  // cross-rack load for — including pairs that went silent this
+  // epoch (their delta is 0 and their idle streak advances).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> candidates;  // (delta, key)
+  for (const auto& [key, total_bytes] : spine_->pair_demand()) {
+    PairState& st = pair_state_[key];
+    const std::uint64_t delta = total_bytes - st.last_bytes;
+    st.last_bytes = total_bytes;
+    if (st.handle.valid() && !spine_->reservation_active(st.handle)) {
+      // Preempted by a link failure since the last epoch: forget the
+      // handle; the pair re-earns its promotion on the new topology.
+      st.handle = {};
+      st.hot_streak = 0;
+      st.idle_streak = 0;
+      --promoted_;
+    }
+    if (!st.handle.valid()) {
+      st.hot_streak = delta >= rp.hot_bytes_per_epoch ? st.hot_streak + 1 : 0;
+      // Rank candidates by cumulative demand, not this epoch's delta:
+      // a long multi-hop pair fills its pipeline slower and would
+      // lose an early delta race to a short-haul burst.
+      if (st.hot_streak >= rp.promote_after) candidates.emplace_back(total_bytes, key);
+      continue;
+    }
+    st.idle_streak = delta <= rp.idle_bytes_per_epoch ? st.idle_streak + 1 : 0;
+    if (st.idle_streak >= rp.demote_after) {
+      spine_->release(st.handle);
+      st.handle = {};
+      st.hot_streak = 0;
+      st.idle_streak = 0;
+      --promoted_;
+      ++demotions_;
+      counters_.add("fleet.demotions");
+    }
+  }
+  // Pass 2 — promotions, hottest first: when several pairs cleared
+  // the streak this epoch, the scarce carve goes to the largest
+  // cumulative demand (key ascending on ties — deterministic).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first : a.second < b.second;
+            });
+  for (const auto& [demand, key] : candidates) {
+    if (promoted_ >= rp.max_reservations) break;
+    PairState& st = pair_state_[key];
+    const auto src = static_cast<std::uint32_t>(key >> 32);
+    const auto dst = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    if (auto h = spine_->reserve(src, dst, rp.fraction)) {
+      st.handle = *h;
+      st.idle_streak = 0;
+      ++promoted_;
+      ++promotions_;
+      counters_.add("fleet.promotions");
+    } else {
+      // No headroom (or no route): back off a full promote window
+      // instead of hammering the admission check every epoch.
+      st.hot_streak = 0;
+    }
+  }
 }
 
 }  // namespace rsf::runtime

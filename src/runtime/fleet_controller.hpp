@@ -11,18 +11,29 @@
 // transport re-plans onto cheaper links at the next packet, shifting
 // traffic off hot spine links without touching any in-flight packet.
 //
+// The controller also mirrors the CRC's intra-rack circuit loop at
+// fleet scope: with the reservation policy enabled it diffs the
+// spine's per-(src, dst) rack-pair demand between epochs, promotes
+// pairs that stay hot for `promote_after` consecutive epochs into
+// spine circuit reservations (Interconnect::reserve), and demotes
+// pairs that stay idle for `demote_after` epochs (release) —
+// hysteresis on both edges so bursty demand doesn't thrash the
+// reservation table. Pairs preempted by a link failure are forgotten
+// and must re-earn their promotion on the surviving topology.
+//
 // The loop schedules weak events (like the CRC's epochs), so "run
 // until the workload drains" still terminates, and it draws no random
 // numbers: fleet runs stay bit-for-bit deterministic with the
 // controller on.
 //
 // Metrics land in the owning registry under "fleet.*":
-// fleet.epochs, fleet.reprices, fleet.hot_links (counters) and
-// fleet.max_spine_util (time series).
+// fleet.epochs, fleet.reprices, fleet.hot_links, fleet.promotions,
+// fleet.demotions (counters) and fleet.max_spine_util (time series).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -34,6 +45,28 @@
 #include "telemetry/series.hpp"
 
 namespace rsf::runtime {
+
+/// Promote/demote policy for spine circuit reservations. Disabled by
+/// default: the packetized shared path is the untouched baseline and
+/// the reservation layer composes on top.
+struct FleetReservationPolicy {
+  bool enable = false;
+  /// Per-direction capacity fraction carved per promoted pair.
+  double fraction = 0.4;
+  /// Offered byte·hops per epoch (the pair's spine resource
+  /// footprint, see Interconnect::pair_demand_slot) at or above which
+  /// a pair counts hot.
+  std::uint64_t hot_bytes_per_epoch = 64 * 1024;
+  /// Offered byte·hops per epoch at or below which a promoted pair
+  /// counts idle (set well below hot_bytes_per_epoch for hysteresis).
+  std::uint64_t idle_bytes_per_epoch = 4 * 1024;
+  /// Consecutive hot epochs before a pair is promoted.
+  int promote_after = 2;
+  /// Consecutive idle epochs before a promoted pair is demoted.
+  int demote_after = 4;
+  /// Cap on concurrently promoted pairs.
+  std::size_t max_reservations = 4;
+};
 
 struct FleetControllerConfig {
   /// Control epoch: how often spine links are observed and repriced.
@@ -53,6 +86,8 @@ struct FleetControllerConfig {
   /// Utilisation at or above which a link counts toward
   /// "fleet.hot_links".
   double hot_threshold = 0.7;
+  /// Spine circuit reservation promote/demote policy.
+  FleetReservationPolicy reservations{};
 };
 
 class FleetController {
@@ -76,6 +111,9 @@ class FleetController {
 
   [[nodiscard]] std::uint64_t epochs_completed() const { return epochs_; }
   [[nodiscard]] std::uint64_t reprices() const { return reprices_; }
+  /// Rack pairs promoted into / demoted out of spine reservations.
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+  [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
   [[nodiscard]] const FleetControllerConfig& config() const { return config_; }
 
   /// Peak per-direction utilisation seen in the last completed epoch.
@@ -91,6 +129,9 @@ class FleetController {
   /// Capture every direction's cumulative busy time as the baseline
   /// the next tick diffs against (links added mid-run start cold).
   void snapshot_busy();
+  /// One epoch of the reservation policy: diff per-pair demand,
+  /// advance hot/idle streaks, promote and demote.
+  void run_reservation_policy();
 
   rsf::sim::Simulator* sim_;
   fabric::Interconnect* spine_;
@@ -100,10 +141,24 @@ class FleetController {
   rsf::sim::EventId next_tick_ = rsf::sim::kInvalidEventId;
   std::uint64_t epochs_ = 0;
   std::uint64_t reprices_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
   double last_max_util_ = 0.0;
   /// Per link, per direction ([0]: leaving a.rack): busy_total at the
   /// last tick.
   std::vector<std::array<rsf::sim::SimTime, 2>> last_busy_;
+  /// Reservation policy state per (src << 32 | dst) rack pair:
+  /// demand baseline, hysteresis streaks, and the held handle.
+  /// Ordered map → deterministic promote order within an epoch.
+  struct PairState {
+    std::uint64_t last_bytes = 0;
+    int hot_streak = 0;
+    int idle_streak = 0;
+    fabric::SpineReservationHandle handle;
+  };
+  std::map<std::uint64_t, PairState> pair_state_;
+  /// Live handles this controller holds (≤ max_reservations).
+  std::size_t promoted_ = 0;
 
   // Instruments live in the registry (owned locally only when the
   // caller supplied none).

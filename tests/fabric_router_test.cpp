@@ -164,5 +164,55 @@ TEST(Router, NullTopologyRejected) {
   EXPECT_THROW(Router(nullptr), std::invalid_argument);
 }
 
+TEST_F(GridFixture, MemoizedNextHopEqualsFreshSearch) {
+  // Every (at, dst) pair, asked twice of the long-lived router (the
+  // second answer is the memo hit), must match what a cold router
+  // computes from scratch.
+  auto expect_all_equal_fresh = [&] {
+    for (NodeId at = 0; at < 16; ++at) {
+      for (NodeId dst = 0; dst < 16; ++dst) {
+        Router cold(rack.topology.get());
+        const auto fresh = cold.next_hop(at, dst);
+        EXPECT_EQ(rack.router->next_hop(at, dst), fresh) << at << " -> " << dst;
+        EXPECT_EQ(rack.router->next_hop(at, dst), fresh) << at << " -> " << dst;
+      }
+    }
+  };
+  expect_all_equal_fresh();
+}
+
+TEST_F(GridFixture, SetReservationBumpsTheVersionAndRefreshesTheMemo) {
+  const NodeId a = rack.node_at(0, 0);
+  const NodeId b = rack.node_at(1, 0);
+  const auto direct = rack.topology->link_between(a, b);
+  ASSERT_TRUE(direct.has_value());
+  // Warm the memo on the direct hop.
+  const auto before = rack.router->next_hop(a, b);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(*before, *direct);
+
+  // Reserving the link must invalidate the memo: set_reservation
+  // notifies the plant's change observers, which bump the topology
+  // version the router's tables key on.
+  const std::uint64_t version = rack.topology->version();
+  rack.plant->set_reservation(*direct, 42);
+  EXPECT_GT(rack.topology->version(), version);
+  const auto around = rack.router->next_hop(a, b);
+  ASSERT_TRUE(around.has_value());
+  EXPECT_NE(*around, *direct);  // private circuits are invisible
+  {
+    Router cold(rack.topology.get());
+    EXPECT_EQ(cold.next_hop(a, b), around);  // hit == fresh search
+  }
+
+  // A redundant set is a no-op (no version churn), and clearing the
+  // reservation restores the direct hop.
+  const std::uint64_t reserved_version = rack.topology->version();
+  rack.plant->set_reservation(*direct, 42);
+  EXPECT_EQ(rack.topology->version(), reserved_version);
+  rack.plant->set_reservation(*direct, std::nullopt);
+  EXPECT_EQ(rack.router->next_hop(a, b), before);
+}
+
 }  // namespace
 }  // namespace rsf::fabric

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Docs hygiene gate (run by the CI docs job, and locally any time):
+#
+#   1. every relative markdown link in README.md and docs/*.md
+#      resolves to an existing file;
+#   2. every registry metric name mentioned in src/ is documented in
+#      docs/METRICS.md — new counters must land with their docs.
+#
+# Metric extraction is the quoted dotted-name convention every
+# component follows ("net.retransmits", "spine.reserved_bytes", ...).
+# Dynamic names are covered by substring matching: a prefix builder
+# like "net.drops." passes when METRICS.md documents any expansion of
+# it, and per-link names normalize link<digits> to the documented
+# link<N> pattern.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. internal links ---
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  while IFS= read -r link; do
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    # Strictly relative to the containing file — that is how GitHub
+    # renders it; a root-relative fallback would hide broken links.
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $doc -> $link"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//' |
+           grep -vE '^(https?:|mailto:|#)' || true)
+done
+
+# --- 2. metric coverage ---
+while IFS= read -r name; do
+  norm=$(echo "$name" | sed -E 's/link[0-9]+/link<N>/')
+  if ! grep -qF "$norm" docs/METRICS.md; then
+    echo "UNDOCUMENTED METRIC: \"$name\" appears in src/ but not in docs/METRICS.md"
+    fail=1
+  fi
+done < <(grep -rhoE '"(net|crc|spine|fleet|plp)\.[a-zA-Z0-9_.-]*"' src/ \
+           --include='*.cpp' --include='*.hpp' | tr -d '"' | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"
