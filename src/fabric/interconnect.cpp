@@ -80,8 +80,8 @@ void Interconnect::set_link_up(SpineLinkId id, bool up) {
     // their traffic falls back to the shared FIFO of whatever route
     // the transport re-plans.
     for (std::uint32_t idx = 0; idx < reservations_.size(); ++idx) {
-      Reservation& r = reservations_[idx];
-      if (!r.active) continue;
+      if (!reservations_.live(idx)) continue;
+      const Reservation& r = reservations_[idx];
       if (std::find(r.route.begin(), r.route.end(), id) == r.route.end()) continue;
       teardown_reservation(idx);
       counters_.add("spine.reservation_preemptions");
@@ -223,31 +223,22 @@ std::optional<SpineReservationHandle> Interconnect::reserve(std::uint32_t src_ra
   for (std::size_t h = 0; h < route.size(); ++h) {
     links_[route[h]].dir[hop_dir[h]].reserved_fraction += bandwidth_fraction;
   }
-  std::uint32_t idx;
-  if (!free_reservation_slots_.empty()) {
-    idx = free_reservation_slots_.back();
-    free_reservation_slots_.pop_back();
-  } else {
-    idx = static_cast<std::uint32_t>(reservations_.size());
-    reservations_.emplace_back();
-  }
-  Reservation& r = reservations_[idx];
+  const auto slot = reservations_.claim();
+  Reservation& r = reservations_[slot.index];
   r.src_rack = src_rack;
   r.dst_rack = dst_rack;
   r.fraction = bandwidth_fraction;
-  r.active = true;
   r.route = route;
   r.hop_dir = std::move(hop_dir);
   r.hop_busy_until.assign(route.size(), SimTime::zero());
-  reservation_by_pair_[pair_key(src_rack, dst_rack)] = idx;
-  ++active_reservations_;
+  reservation_by_pair_[pair_key(src_rack, dst_rack)] = slot.index;
   ++reservation_version_;
   counters_.add("spine.reservations");
-  return SpineReservationHandle{idx, r.generation};
+  return SpineReservationHandle{slot.index, slot.generation};
 }
 
 void Interconnect::teardown_reservation(std::uint32_t idx) {
-  Reservation& r = reservations_[idx];
+  const Reservation& r = reservations_[idx];
   for (std::size_t h = 0; h < r.route.size(); ++h) {
     double& carved = links_[r.route[h]].dir[r.hop_dir[h]].reserved_fraction;
     carved -= r.fraction;
@@ -256,13 +247,9 @@ void Interconnect::teardown_reservation(std::uint32_t idx) {
     if (carved < 1e-12) carved = 0.0;
   }
   reservation_by_pair_.erase(pair_key(r.src_rack, r.dst_rack));
-  r.active = false;
-  ++r.generation;  // stale-ify every outstanding handle
-  r.route.clear();
-  r.hop_dir.clear();
-  r.hop_busy_until.clear();
-  free_reservation_slots_.push_back(idx);
-  --active_reservations_;
+  // The recycle bumps the slot generation, stale-ifying every
+  // outstanding handle.
+  reservations_.recycle(idx);
   ++reservation_version_;
 }
 
@@ -270,13 +257,6 @@ void Interconnect::release(SpineReservationHandle handle) {
   if (live_reservation(handle) == nullptr) return;  // stale: idempotent no-op
   teardown_reservation(handle.id);
   counters_.add("spine.reservation_releases");
-}
-
-const Interconnect::Reservation* Interconnect::live_reservation(
-    SpineReservationHandle h) const {
-  if (!h.valid() || h.id >= reservations_.size()) return nullptr;
-  const Reservation& r = reservations_[h.id];
-  return r.active && r.generation == h.generation ? &r : nullptr;
 }
 
 bool Interconnect::reservation_active(SpineReservationHandle handle) const {
@@ -287,7 +267,7 @@ std::optional<SpineReservationHandle> Interconnect::find_reservation(
     std::uint32_t src_rack, std::uint32_t dst_rack) const {
   const auto it = reservation_by_pair_.find(pair_key(src_rack, dst_rack));
   if (it == reservation_by_pair_.end()) return std::nullopt;
-  return SpineReservationHandle{it->second, reservations_[it->second].generation};
+  return SpineReservationHandle{it->second, reservations_.generation(it->second)};
 }
 
 const std::vector<SpineLinkId>& Interconnect::reservation_route(
@@ -306,6 +286,13 @@ double Interconnect::reservation_fraction(SpineReservationHandle handle) const {
 double Interconnect::reserved_fraction(SpineLinkId id, std::uint32_t from_rack) const {
   const SpineLink& l = at(id);
   return l.dir[direction_index(l, from_rack)].reserved_fraction;
+}
+
+phy::DataRate Interconnect::residual_rate(SpineLinkId id, std::uint32_t from_rack) const {
+  const SpineLink& l = at(id);
+  // Same expression occupy() serializes shared traffic at: × (1 − 0.0)
+  // is exact, so an uncarved direction advertises the nameplate rate.
+  return l.params.rate * (1.0 - l.dir[direction_index(l, from_rack)].reserved_fraction);
 }
 
 // ---------------------------------------------------------------------------

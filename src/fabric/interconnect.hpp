@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "core/slot_pool.hpp"
 #include "phy/types.hpp"
 #include "phy/units.hpp"
 #include "sim/random.hpp"
@@ -182,7 +183,9 @@ class Interconnect {
   [[nodiscard]] double reservation_fraction(SpineReservationHandle handle) const;
 
   /// Live reservations right now.
-  [[nodiscard]] std::size_t reservation_count() const { return active_reservations_; }
+  [[nodiscard]] std::size_t reservation_count() const {
+    return reservations_.size() - reservations_.free_count();
+  }
 
   /// Monotonic version of the reservation table: bumped by reserve(),
   /// release(), and failure-driven preemption. Transports poll it to
@@ -193,6 +196,13 @@ class Interconnect {
   /// Fraction of direction (`id`, leaving `from_rack`) currently
   /// carved out by reservations.
   [[nodiscard]] double reserved_fraction(SpineLinkId id, std::uint32_t from_rack) const;
+
+  /// The rate shared (unreserved) traffic actually sees on direction
+  /// (`id`, leaving `from_rack`): the nameplate rate minus every
+  /// carve crossing it — rate × (1 − reserved_fraction). This is what
+  /// the FleetController prices against; with nothing carved it is
+  /// exactly the nameplate rate.
+  [[nodiscard]] phy::DataRate residual_rate(SpineLinkId id, std::uint32_t from_rack) const;
 
   // --- per-pair demand (the controller's promotion input) ---
 
@@ -272,10 +282,9 @@ class Interconnect {
     std::uint32_t src_rack = 0;
     std::uint32_t dst_rack = 0;
     double fraction = 0.0;
-    bool active = false;
-    std::uint32_t generation = 0;
     /// Pinned route and, per hop, the direction index on that link
-    /// and the private FIFO's booking horizon.
+    /// and the private FIFO's booking horizon. Liveness and the
+    /// stale-handle generation live in the SlotPool.
     std::vector<SpineLinkId> route;
     std::vector<int> hop_dir;
     std::vector<rsf::sim::SimTime> hop_busy_until;
@@ -300,7 +309,11 @@ class Interconnect {
                                 rsf::sim::SimTime latency, phy::DataSize size);
   /// Book one serialization on the shared residual FIFO of (l, d).
   rsf::sim::SimTime occupy(SpineLink& l, int d, phy::DataSize size);
-  [[nodiscard]] const Reservation* live_reservation(SpineReservationHandle h) const;
+  [[nodiscard]] const Reservation* live_reservation(SpineReservationHandle h) const {
+    // SpineReservationHandle::kInvalidId is SlotPool's invalid index,
+    // so stale, foreign and never-valid handles all fail is_live.
+    return reservations_.get_live(h.id, h.generation);
+  }
   /// Tear one reservation down and return its carve (shared by
   /// release() and failure-driven preemption).
   void teardown_reservation(std::uint32_t idx);
@@ -317,12 +330,10 @@ class Interconnect {
   // stamp, so set_link_up / repricing cost one O(1) bump, not a walk.
   mutable std::uint64_t cache_version_ = 0;
   mutable std::map<std::uint64_t, std::optional<std::vector<SpineLinkId>>> route_cache_;
-  // Reservation table: dense slots recycled through a free list; the
-  // per-slot generation makes recycled handles detectably stale.
-  std::vector<Reservation> reservations_;
-  std::vector<std::uint32_t> free_reservation_slots_;
+  // Reservation table: a SlotPool whose per-slot generation makes
+  // recycled SpineReservationHandles detectably stale.
+  core::SlotPool<Reservation> reservations_;
   std::map<std::uint64_t, std::uint32_t> reservation_by_pair_;
-  std::size_t active_reservations_ = 0;
   std::uint64_t reservation_version_ = 0;
   std::map<std::uint64_t, std::uint64_t> pair_demand_;
   telemetry::CounterSet& counters_;

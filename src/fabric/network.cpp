@@ -51,17 +51,10 @@ void Network::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
   state.on_complete = std::move(on_complete);
   state.packets_total =
       static_cast<std::uint64_t>(spec.size.packet_count(spec.packet_size));
-  // Recycle a drained slot when one is free (bounded pool under flow
-  // churn); otherwise grow the dense pool.
-  std::uint32_t idx;
-  if (!free_flow_slots_.empty()) {
-    idx = free_flow_slots_.back();
-    free_flow_slots_.pop_back();
-    flows_[idx] = std::move(state);
-  } else {
-    idx = static_cast<std::uint32_t>(flows_.size());
-    flows_.push_back(std::move(state));
-  }
+  // Claim a slot from the pool (a drained slot when one is free —
+  // bounded pool under flow churn — else the dense pool grows).
+  const std::uint32_t idx = flows_.claim().index;
+  flows_[idx] = std::move(state);
   flow_index_.emplace(spec.id, idx);
   counters_.add("net.flows_started");
   // A start time already in the past means "now".
@@ -101,15 +94,8 @@ void Network::send_probe(phy::NodeId src, phy::NodeId dst, phy::DataSize size,
   pkt.src = src;
   pkt.dst = dst;
   pkt.size = size;
-  std::uint32_t slot;
-  if (!free_probe_slots_.empty()) {
-    slot = free_probe_slots_.back();
-    free_probe_slots_.pop_back();
-    probes_[slot].cb = std::move(cb);
-  } else {
-    slot = static_cast<std::uint32_t>(probes_.size());
-    probes_.push_back(ProbeState{std::move(cb)});
-  }
+  const std::uint32_t slot = probes_.claim().index;
+  probes_[slot].cb = std::move(cb);
   pkt.probe_idx = static_cast<std::int32_t>(slot);
   ++probes_slot_;
   inject(pkt, sim_->now());
@@ -243,8 +229,7 @@ void Network::deliver(const Packet& pkt, SimTime when) {
     if (pkt.probe_idx >= 0) {
       const auto slot = static_cast<std::uint32_t>(pkt.probe_idx);
       auto cb = std::move(probes_[slot].cb);
-      probes_[slot].cb = nullptr;
-      free_probe_slots_.push_back(slot);
+      probes_.recycle(slot);  // before the callback: chained probes reuse it
       if (cb) cb(when - pkt.injected, pkt.hops, true);
       return;
     }
@@ -265,8 +250,7 @@ void Network::drop(const Packet& pkt, const char* reason) {
   if (pkt.probe_idx >= 0) {
     const auto slot = static_cast<std::uint32_t>(pkt.probe_idx);
     auto cb = std::move(probes_[slot].cb);
-    probes_[slot].cb = nullptr;
-    free_probe_slots_.push_back(slot);
+    probes_.recycle(slot);  // before the callback: chained probes reuse it
     if (cb) cb(SimTime::zero(), pkt.hops, false);
     return;
   }
@@ -346,14 +330,13 @@ void Network::finish_flow(std::uint32_t flow_idx, bool failed) {
 }
 
 void Network::maybe_recycle_flow(std::uint32_t flow_idx) {
-  FlowState& flow = flows_[flow_idx];
-  if (!flow.done || flow.inflight > 0) return;
-  flow_index_.erase(flow.spec.id);
-  // Reset the slot: spec.id becomes kNoFlow, so any (impossible by the
-  // inflight gate, but cheap to guard) stale dense index fails the
-  // live_flow() generation check instead of corrupting a new flow.
-  flow = FlowState{};
-  free_flow_slots_.push_back(flow_idx);
+  // The FlowDrained gate holds the slot until done + last straggler
+  // drained; the pool's reset makes spec.id kNoFlow, so any
+  // (impossible by the inflight gate, but cheap to guard) stale dense
+  // index fails the live_flow() id-echo check instead of corrupting a
+  // new flow.
+  flows_.maybe_recycle(flow_idx,
+                       [this](FlowState& flow) { flow_index_.erase(flow.spec.id); });
 }
 
 SimTime Network::link_busy_time(phy::LinkId id) const {

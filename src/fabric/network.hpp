@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/slot_pool.hpp"
 #include "fabric/packet.hpp"
 #include "fabric/router.hpp"
 #include "fabric/topology.hpp"
@@ -117,9 +118,9 @@ class Network {
   /// Flow-slot pool observability: total slots ever allocated and how
   /// many are currently free. A long-lived service churning millions
   /// of flows holds slots() at its peak concurrency, not its flow
-  /// count — completed slots recycle through a free list like probes.
+  /// count — completed slots recycle through a SlotPool like probes.
   [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
-  [[nodiscard]] std::size_t free_flow_slots() const { return free_flow_slots_.size(); }
+  [[nodiscard]] std::size_t free_flow_slots() const { return flows_.free_count(); }
 
   /// Physical switching ports currently in use (one per cable end that
   /// terminates in switching logic). Cached against the topology
@@ -158,6 +159,15 @@ class Network {
 
   struct ProbeState {
     ProbeCallback cb;
+  };
+
+  /// SlotPool recycle gate for flows_: a slot returns to the free list
+  /// only when the flow is done AND its last in-flight packet (a lost
+  /// packet awaiting retransmit included) has drained.
+  struct FlowDrained {
+    [[nodiscard]] bool operator()(const FlowState& f) const {
+      return f.done && f.inflight == 0;
+    }
   };
 
   void pump_flow(std::uint32_t flow_idx);
@@ -210,12 +220,14 @@ class Network {
   // monotonically assigned) LinkId, flow and probe state by the dense
   // index each Packet carries. The only hash map left is the cold
   // FlowId -> index resolver used at start_flow time.
-  std::vector<PortState> ports_;        // 2 slots per link: [link*2 + side]
-  std::vector<LinkUse> link_use_;       // by LinkId
-  std::vector<FlowState> flows_;        // by Packet::flow_idx, slots reused
-  std::vector<ProbeState> probes_;      // by Packet::probe_idx, slots reused
-  std::vector<std::uint32_t> free_probe_slots_;
-  std::vector<std::uint32_t> free_flow_slots_;
+  std::vector<PortState> ports_;   // 2 slots per link: [link*2 + side]
+  std::vector<LinkUse> link_use_;  // by LinkId
+  // Flow and probe state live in shared SlotPools addressed by the
+  // dense index each Packet carries; flow slots recycle at
+  // done + last-straggler-drained (the FlowDrained gate), probe slots
+  // at their terminal callback.
+  core::SlotPool<FlowState, std::uint64_t, FlowDrained> flows_;
+  core::SlotPool<ProbeState> probes_;
   std::unordered_map<FlowId, std::uint32_t> flow_index_;  // cold: start_flow only
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t flows_completed_ = 0;

@@ -105,22 +105,16 @@ void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_co
   state.at = spec.src;
   state.packets_total =
       static_cast<std::uint64_t>(spec.size.packet_count(spec.packet_size));
-  // Recycle a drained slot when one is free (bounded pool under flow
-  // churn); the slot keeps its generation so stale closures miss.
-  std::uint32_t idx;
-  if (!free_flow_slots_.empty()) {
-    idx = free_flow_slots_.back();
-    free_flow_slots_.pop_back();
-    state.gen = flows_[idx].gen;
-    flows_[idx] = std::move(state);
-  } else {
-    idx = static_cast<std::uint32_t>(flows_.size());
-    flows_.push_back(std::move(state));
-  }
-  const std::uint64_t gen = flows_[idx].gen;
+  // Claim a slot (a drained one when the free list has any — bounded
+  // pool under flow churn); the pool's generation makes stale closures
+  // miss.
+  const auto handle = flows_.claim();
+  const std::uint32_t idx = handle.index;
+  flows_[idx] = std::move(state);
+  const std::uint64_t gen = handle.generation;
   sim_.schedule_at(std::max(spec.start, sim_.now()), [this, idx, gen] {
+    if (!flows_.is_live(idx, gen)) return;  // slot recycled before the start fired
     FleetFlowState& f = flows_[idx];
-    if (f.gen != gen) return;  // slot recycled before the start fired
     f.started = sim_.now();
     // Same-rack flows collapse to one plain Network flow in either
     // transport mode: a 1-shard fleet stays identical to a standalone
@@ -152,10 +146,11 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
   // A packet reaching a terminal stage inside the loop can finish the
   // flow, recycle the slot, and (through the completion callback)
   // hand it to a brand-new flow — the generation detects that.
-  const std::uint64_t gen = flows_[flow_idx].gen;
+  const std::uint64_t gen = flows_.generation(flow_idx);
   while (true) {
+    if (!flows_.is_live(flow_idx, gen)) return;
     FleetFlowState& f = flows_[flow_idx];
-    if (f.gen != gen || f.done || f.inflight >= config_.flow_window ||
+    if (f.done || f.inflight >= config_.flow_window ||
         f.next_seq >= f.packets_total) {
       return;
     }
@@ -204,14 +199,7 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
       }
       f.route_version = spine_->version();
     }
-    std::uint32_t pkt_idx;
-    if (!free_packet_slots_.empty()) {
-      pkt_idx = free_packet_slots_.back();
-      free_packet_slots_.pop_back();
-    } else {
-      pkt_idx = static_cast<std::uint32_t>(packets_.size());
-      packets_.emplace_back();
-    }
+    const std::uint32_t pkt_idx = packets_.claim().index;
     FleetPacket& pkt = packets_[pkt_idx];
     pkt.flow_idx = flow_idx;
     pkt.flow_gen = gen;
@@ -246,9 +234,9 @@ std::uint32_t FleetRuntime::release_packet(std::uint32_t pkt_idx) {
     // The last straggler of a finished flow returns the flow slot.
     maybe_recycle_flow(flow_idx);
   }
-  pkt.path.reset();  // drop the route refcount early
-  pkt.reservation = {};
-  free_packet_slots_.push_back(pkt_idx);
+  // The recycle resets the slot in place, dropping the route refcount
+  // and the reservation handle.
+  packets_.recycle(pkt_idx);
   return flow_idx;
 }
 
@@ -405,16 +393,22 @@ void FleetRuntime::advance(std::uint32_t flow_idx) {
       return;
     }
     const std::uint32_t from_rack = f.at.rack;
-    const std::uint64_t gen = f.gen;
+    const std::uint64_t gen = flows_.generation(flow_idx);
     const bool ok =
         spine_->transfer(hop, from_rack, f.spec.size, [this, flow_idx, gen](SimTime) {
-          if (flows_[flow_idx].gen != gen) return;  // slot recycled since
+          if (!flows_.is_live(flow_idx, gen)) return;  // slot recycled since
           advance(flow_idx);
         });
     if (!ok) {  // spine link went down since routing
       finish_fleet_flow(flow_idx, true);
       return;
     }
+    // Bulk crossings note pair demand too (payload bytes per spine
+    // hop crossed — byte·hops, the same unit the packetized path
+    // records): without this the reservation policy is blind under
+    // the store-and-forward comparison baseline.
+    spine_->pair_demand_slot(f.spec.src.rack, f.spec.dst.rack) +=
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, f.spec.size.bit_count() / 8));
     ++f.next_hop;
     ++f.spine_hops;
     f.at = spine_->far_end(hop, from_rack);
@@ -437,10 +431,10 @@ void FleetRuntime::run_rack_leg(std::uint32_t flow_idx, phy::NodeId to) {
   leg.packet_size = f.spec.packet_size;
   leg.start = sim_.now();
   ++f.rack_legs;
-  const std::uint64_t gen = f.gen;
+  const std::uint64_t gen = flows_.generation(flow_idx);
   racks_[f.at.rack]->network().start_flow(
       leg, [this, flow_idx, gen, to](const fabric::FlowResult& r) {
-        if (flows_[flow_idx].gen != gen) return;  // slot recycled since
+        if (!flows_.is_live(flow_idx, gen)) return;  // slot recycled since
         if (r.failed) {
           finish_fleet_flow(flow_idx, true);
           return;
@@ -474,15 +468,10 @@ void FleetRuntime::finish_fleet_flow(std::uint32_t flow_idx, bool failed) {
 }
 
 void FleetRuntime::maybe_recycle_flow(std::uint32_t flow_idx) {
-  FleetFlowState& f = flows_[flow_idx];
-  if (!f.done || f.inflight > 0) return;
-  const std::uint64_t next_gen = f.gen + 1;
-  // Reset the slot (drops the route/reservation refs); the bumped
-  // generation makes every closure that captured the old (idx, gen)
-  // pair detectably stale.
-  f = FleetFlowState{};
-  f.gen = next_gen;
-  free_flow_slots_.push_back(flow_idx);
+  // Gated on done + last straggler drained. The pool reset drops the
+  // route/reservation refs and the bumped generation makes every
+  // closure that captured the old (idx, gen) pair detectably stale.
+  flows_.maybe_recycle(flow_idx);
 }
 
 workload::CrossRackShuffle& FleetRuntime::add_shuffle(workload::CrossRackShuffleConfig cfg) {

@@ -36,12 +36,13 @@
 // noted per (src, dst) pair at packetization time — the
 // FleetController's promotion input.
 //
-// Completed fleet flows recycle their dense flows_ slots through a
-// free list (like Network::flows_): a slot returns when the flow is
-// done AND its last in-flight packet has drained, and a per-slot
-// generation makes any straggler closure (scheduled starts, rack-leg
-// and spine continuations) detectably stale, so a service churning
-// millions of fleet flows holds flows_ at peak concurrency.
+// Completed fleet flows recycle their dense flows_ slots through the
+// shared core::SlotPool (like Network::flows_): a slot returns when
+// the flow is done AND its last in-flight packet has drained (the
+// pool's recycle gate), and the pool's per-slot generation makes any
+// straggler closure (scheduled starts, rack-leg and spine
+// continuations) detectably stale, so a service churning millions of
+// fleet flows holds flows_ at peak concurrency.
 //
 // Telemetry: the fleet registry holds "spine.*" and "fleet.*" live,
 // and metrics() snapshots every shard's registry into it under
@@ -53,6 +54,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/slot_pool.hpp"
 #include "fabric/interconnect.hpp"
 #include "runtime/fleet_controller.hpp"
 #include "runtime/runtime.hpp"
@@ -201,7 +203,7 @@ class FleetRuntime {
   /// allocated and how many are free right now. Churning millions of
   /// fleet flows holds flow_slots() at peak concurrency.
   [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
-  [[nodiscard]] std::size_t free_flow_slots() const { return free_flow_slots_.size(); }
+  [[nodiscard]] std::size_t free_flow_slots() const { return flows_.free_count(); }
 
  private:
   struct FleetFlowState {
@@ -209,9 +211,6 @@ class FleetRuntime {
     FleetFlowCallback on_complete;
     rsf::sim::SimTime started = rsf::sim::SimTime::zero();
     bool done = false;
-    /// Slot generation: bumped when the slot recycles, so closures
-    /// that captured (index, gen) detect a reused slot and stand down.
-    std::uint64_t gen = 0;
     // --- packetized transport ---
     std::uint64_t packets_total = 0;
     std::uint64_t next_seq = 0;
@@ -285,15 +284,23 @@ class FleetRuntime {
 
   void finish_fleet_flow(std::uint32_t flow_idx, bool failed);
   /// Return the slot to the free list once the flow is done and its
-  /// last straggler packet has drained; bumps the slot generation.
+  /// last straggler packet has drained (the pool's FleetFlowDrained
+  /// gate); the recycle bumps the slot generation.
   void maybe_recycle_flow(std::uint32_t flow_idx);
   /// The packet's flow, or nullptr when the slot was recycled since
   /// (the inflight gate makes that impossible for live packets;
   /// defensive, like Network::live_flow).
   [[nodiscard]] FleetFlowState* live_flow(const FleetPacket& pkt) {
-    FleetFlowState& f = flows_[pkt.flow_idx];
-    return f.gen == pkt.flow_gen ? &f : nullptr;
+    return flows_.get_live(pkt.flow_idx, pkt.flow_gen);
   }
+
+  /// SlotPool recycle gate for flows_: hold the slot until the flow is
+  /// done AND its last in-flight packet has drained.
+  struct FleetFlowDrained {
+    [[nodiscard]] bool operator()(const FleetFlowState& f) const {
+      return f.done && f.inflight == 0;
+    }
+  };
 
   FleetConfig config_;
   rsf::sim::Simulator sim_;
@@ -307,10 +314,10 @@ class FleetRuntime {
   std::vector<std::unique_ptr<FabricRuntime>> racks_;
   std::unique_ptr<fabric::Interconnect> spine_;
   std::unique_ptr<FleetController> controller_;
-  std::vector<FleetFlowState> flows_;  // dense pool, slots recycled
-  std::vector<std::uint32_t> free_flow_slots_;
-  std::vector<FleetPacket> packets_;   // dense pool, slots recycled
-  std::vector<std::uint32_t> free_packet_slots_;
+  // Flow and packet state live in shared SlotPools; flow closures
+  // capture (index, generation) pairs validated through the pool.
+  core::SlotPool<FleetFlowState, std::uint64_t, FleetFlowDrained> flows_;
+  core::SlotPool<FleetPacket> packets_;
   fabric::FlowId next_leg_id_ = kLegFlowBase;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;

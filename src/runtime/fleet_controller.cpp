@@ -27,6 +27,9 @@ FleetController::FleetController(rsf::sim::Simulator* sim, fabric::Interconnect*
   if (config_.base_cost <= 0) {
     throw std::invalid_argument("FleetController: non-positive base cost");
   }
+  if (config_.demand_half_life_epochs < 0) {
+    throw std::invalid_argument("FleetController: negative demand half-life");
+  }
   const FleetReservationPolicy& rp = config_.reservations;
   if (rp.enable) {
     if (rp.fraction <= 0 || rp.fraction >= 1) {
@@ -80,8 +83,19 @@ void FleetController::tick() {
       // busy_total is booked at send time, so an epoch that enqueued a
       // deep FIFO can show > 1: that is pressure, and the cost should
       // reflect it — no clamping here.
-      util = std::max(util, (busy - last_busy_[id][d]).sec() / epoch_s);
+      double u = (busy - last_busy_[id][d]).sec() / epoch_s;
       last_busy_[id][d] = busy;
+      // Price what shared traffic actually sees, not the nameplate
+      // rate: `u` is the fraction of the epoch the *residual* FIFO
+      // spent serializing, so re-express it against full capacity
+      // (× residual/rate) and add the carved fraction back — carved
+      // capacity is spoken-for whether or not the circuit is busy, so
+      // a hot reserved direction can no longer advertise itself as
+      // cheap. With nothing carved the ratio is exactly 1 and this is
+      // the pre-reservation arithmetic, bit for bit.
+      const double residual_ratio = spine_->residual_rate(id, rack_of[d]) / p.rate;
+      u = u * residual_ratio + (1.0 - residual_ratio);
+      util = std::max(util, u);
       backlog = std::max(backlog, spine_->queue_backlog(id, rack_of[d]));
     }
     max_util = std::max(max_util, util);
@@ -106,15 +120,24 @@ void FleetController::tick() {
 
 void FleetController::run_reservation_policy() {
   const FleetReservationPolicy& rp = config_.reservations;
+  // Per-epoch multiplicative decay of the ranking score: 2^(−1/h)
+  // halves a silent pair's score every h epochs, so ancient heat
+  // stops outranking current heat. Half-life 0 disables decay (factor
+  // 1): the score is then exactly the cumulative byte·hop total.
+  const double decay = config_.demand_half_life_epochs > 0
+                           ? std::exp2(-1.0 / config_.demand_half_life_epochs)
+                           : 1.0;
   // Pass 1 — streaks and demotions. The demand map only ever grows,
   // so iterating it visits every pair this fleet has offered
   // cross-rack load for — including pairs that went silent this
-  // epoch (their delta is 0 and their idle streak advances).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> candidates;  // (delta, key)
+  // epoch (their delta is 0, their score decays, and their idle
+  // streak advances).
+  std::vector<std::pair<double, std::uint64_t>> candidates;  // (score, key)
   for (const auto& [key, total_bytes] : spine_->pair_demand()) {
     PairState& st = pair_state_[key];
     const std::uint64_t delta = total_bytes - st.last_bytes;
     st.last_bytes = total_bytes;
+    st.score = st.score * decay + static_cast<double>(delta);
     if (st.handle.valid() && !spine_->reservation_active(st.handle)) {
       // Preempted by a link failure since the last epoch: forget the
       // handle; the pair re-earns its promotion on the new topology.
@@ -125,10 +148,10 @@ void FleetController::run_reservation_policy() {
     }
     if (!st.handle.valid()) {
       st.hot_streak = delta >= rp.hot_bytes_per_epoch ? st.hot_streak + 1 : 0;
-      // Rank candidates by cumulative demand, not this epoch's delta:
-      // a long multi-hop pair fills its pipeline slower and would
-      // lose an early delta race to a short-haul burst.
-      if (st.hot_streak >= rp.promote_after) candidates.emplace_back(total_bytes, key);
+      // Rank candidates by the decayed demand score, not this epoch's
+      // delta: a long multi-hop pair fills its pipeline slower and
+      // would lose an early delta race to a short-haul burst.
+      if (st.hot_streak >= rp.promote_after) candidates.emplace_back(st.score, key);
       continue;
     }
     st.idle_streak = delta <= rp.idle_bytes_per_epoch ? st.idle_streak + 1 : 0;
@@ -144,12 +167,12 @@ void FleetController::run_reservation_policy() {
   }
   // Pass 2 — promotions, hottest first: when several pairs cleared
   // the streak this epoch, the scarce carve goes to the largest
-  // cumulative demand (key ascending on ties — deterministic).
+  // decayed demand score (key ascending on ties — deterministic).
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) {
               return a.first != b.first ? a.first > b.first : a.second < b.second;
             });
-  for (const auto& [demand, key] : candidates) {
+  for (const auto& [score, key] : candidates) {
     if (promoted_ >= rp.max_reservations) break;
     PairState& st = pair_state_[key];
     const auto src = static_cast<std::uint32_t>(key >> 32);

@@ -15,11 +15,19 @@
 // fleet scope: with the reservation policy enabled it diffs the
 // spine's per-(src, dst) rack-pair demand between epochs, promotes
 // pairs that stay hot for `promote_after` consecutive epochs into
-// spine circuit reservations (Interconnect::reserve), and demotes
-// pairs that stay idle for `demote_after` epochs (release) —
-// hysteresis on both edges so bursty demand doesn't thrash the
-// reservation table. Pairs preempted by a link failure are forgotten
-// and must re-earn their promotion on the surviving topology.
+// spine circuit reservations (Interconnect::reserve, hottest decayed
+// demand score first — `demand_half_life_epochs` forgets ancient
+// heat), and demotes pairs that stay idle for `demote_after` epochs
+// (release) — hysteresis on both edges so bursty demand doesn't
+// thrash the reservation table. Pairs preempted by a link failure are
+// forgotten and must re-earn their promotion on the surviving
+// topology.
+//
+// Repricing is reservation-aware: utilisation is judged against the
+// residual rate a direction advertises (Interconnect::residual_rate),
+// with the carved fraction counted as spoken-for capacity — so a hot
+// reserved link can no longer advertise itself as cheap to the shared
+// traffic that would only get its residual.
 //
 // The loop schedules weak events (like the CRC's epochs), so "run
 // until the workload drains" still terminates, and it draws no random
@@ -86,6 +94,12 @@ struct FleetControllerConfig {
   /// Utilisation at or above which a link counts toward
   /// "fleet.hot_links".
   double hot_threshold = 0.7;
+  /// Half-life, in epochs, of the per-pair demand score the promotion
+  /// ranking orders by: each epoch the score decays by 2^(−1/h)
+  /// before the epoch's fresh byte·hops are added, so a pair that was
+  /// hot an hour ago stops outranking a pair that is hot now. 0
+  /// disables decay (a decay factor of 1 — the cumulative ranking).
+  double demand_half_life_epochs = 0.0;
   /// Spine circuit reservation promote/demote policy.
   FleetReservationPolicy reservations{};
 };
@@ -148,10 +162,14 @@ class FleetController {
   /// last tick.
   std::vector<std::array<rsf::sim::SimTime, 2>> last_busy_;
   /// Reservation policy state per (src << 32 | dst) rack pair:
-  /// demand baseline, hysteresis streaks, and the held handle.
-  /// Ordered map → deterministic promote order within an epoch.
+  /// demand baseline, the decayed ranking score, hysteresis streaks,
+  /// and the held handle. Ordered map → deterministic promote order
+  /// within an epoch.
   struct PairState {
     std::uint64_t last_bytes = 0;
+    /// Decayed byte·hops: score × 2^(−1/half_life) per epoch, plus
+    /// the epoch's delta. With decay off this is the cumulative total.
+    double score = 0.0;
     int hot_streak = 0;
     int idle_streak = 0;
     fabric::SpineReservationHandle handle;

@@ -139,6 +139,114 @@ TEST(FleetController, StartStopAreIdempotentAndObservable) {
   EXPECT_EQ(ctrl.epochs_completed(), epochs);  // tick cancelled
 }
 
+TEST(FleetController, CarvedDirectionRepricesAgainstTheAdvertisedResidual) {
+  // The same modest shared traffic, with and without a 60% carve on
+  // the direction. Uncarved, utilisation stays inside the repricing
+  // hysteresis and the link keeps its base cost. Carved, the shared
+  // traffic only sees the 40% residual and the carve itself is
+  // spoken-for capacity — the decision flips and the link reprices.
+  // (The old controller priced the nameplate rate and kept the hot
+  // reserved link looking cheap.)
+  struct Outcome {
+    double cost = 0;
+    std::uint64_t reprices = 0;
+    double residual_gbps = 0;
+  };
+  auto run = [](bool carve) {
+    rsf::sim::Simulator sim;
+    telemetry::Registry registry;
+    fabric::Interconnect spine(&sim, &registry);
+    fabric::SpineLinkParams p;
+    p.a = {0, 0};
+    p.b = {1, 0};
+    p.rate = phy::DataRate::gbps(10);
+    p.latency = SimTime::zero();
+    const auto link = spine.add_link(p);
+    if (carve) EXPECT_TRUE(spine.reserve(0, 1, 0.6).has_value());
+    // Defaults: 100 us epoch, base 1, w_u 8, epsilon 0.5.
+    FleetController ctrl(&sim, &spine, FleetControllerConfig{}, &registry);
+    ctrl.start();
+    // 2 x 1000 B at t=0: 1.6 us of nameplate serialization in a
+    // 100 us epoch. Even at the carved direction's residual rate the
+    // raw busy fraction is only 4% — the nameplate-blind cost
+    // (1 + 8 x 0.04 = 1.32) stays inside the 0.5 hysteresis, so the
+    // old controller left the carved link at base cost either way.
+    for (int i = 0; i < 2; ++i) {
+      spine.send_packet(link, 0, DataSize::bytes(1000), nullptr);
+    }
+    sim.run_until(150_us);  // one repricing tick
+    ctrl.stop();
+    return Outcome{spine.link_cost(link), ctrl.reprices(),
+                   spine.residual_rate(link, 0).gbps_value()};
+  };
+  const Outcome uncarved = run(false);
+  EXPECT_EQ(uncarved.reprices, 0u);
+  EXPECT_EQ(uncarved.cost, 1.0);
+  EXPECT_DOUBLE_EQ(uncarved.residual_gbps, 10.0);
+  const Outcome carved = run(true);
+  EXPECT_DOUBLE_EQ(carved.residual_gbps, 4.0);  // the advertised residual
+  EXPECT_GE(carved.reprices, 1u);
+  // util = 0.04 x 0.4 + 0.6 carved: cost = 1 + 8 x 0.616.
+  EXPECT_GT(carved.cost, 5.0);
+}
+
+TEST(FleetController, DemandDecayForgetsAncientHeatInThePromotionRanking) {
+  // Pair (0,1) had a massive burst eleven epochs ago and now trickles
+  // at just-hot rate; pair (2,3) is genuinely hot right now. Both
+  // clear the promote streak at the same tick and compete for the one
+  // allowed carve. The cumulative ranking (decay off) hands it to the
+  // ancient pair; with a one-epoch half-life the currently hot pair
+  // wins.
+  auto promoted_new_pair = [](double half_life) {
+    rsf::sim::Simulator sim;
+    telemetry::Registry registry;
+    fabric::Interconnect spine(&sim, &registry);
+    fabric::SpineLinkParams p;
+    p.a = {0, 0};
+    p.b = {1, 0};
+    spine.add_link(p);
+    p.a = {2, 0};
+    p.b = {3, 0};
+    spine.add_link(p);
+    FleetControllerConfig cfg;
+    cfg.epoch = 100_us;
+    cfg.demand_half_life_epochs = half_life;
+    cfg.reservations.enable = true;
+    cfg.reservations.fraction = 0.4;
+    cfg.reservations.hot_bytes_per_epoch = 1000;
+    cfg.reservations.idle_bytes_per_epoch = 10;
+    cfg.reservations.promote_after = 2;
+    cfg.reservations.demote_after = 100;
+    cfg.reservations.max_reservations = 1;
+    FleetController ctrl(&sim, &spine, cfg, &registry);
+    std::uint64_t& old_hot = spine.pair_demand_slot(0, 1);
+    std::uint64_t& new_hot = spine.pair_demand_slot(2, 3);
+    // Epoch 1: the ancient burst. Epochs 2-9: silence (the old pair's
+    // streak resets; with decay on, its score halves every epoch).
+    sim.schedule_at(50_us, [&] { old_hot += 10'000'000; });
+    // Epochs 10 and 11: the old pair trickles just above the hot
+    // threshold while the new pair runs genuinely hot — both reach
+    // streak 2 at the epoch-11 tick.
+    for (const auto t : {950_us, 1050_us}) {
+      sim.schedule_at(t, [&] {
+        old_hot += 2'000;
+        new_hot += 500'000;
+      });
+    }
+    ctrl.start();
+    sim.run_until(1150_us);
+    ctrl.stop();
+    EXPECT_EQ(ctrl.promotions(), 1u);  // exactly one carve to hand out
+    const bool new_pair = spine.find_reservation(2, 3).has_value();
+    EXPECT_NE(new_pair, spine.find_reservation(0, 1).has_value());
+    return new_pair;
+  };
+  // Decay off reproduces the cumulative ranking: ancient heat wins.
+  EXPECT_FALSE(promoted_new_pair(0.0));
+  // With a one-epoch half-life the pair that is hot *now* wins.
+  EXPECT_TRUE(promoted_new_pair(1.0));
+}
+
 TEST(FleetController, RejectsBadConstruction) {
   rsf::sim::Simulator sim;
   telemetry::Registry registry;
@@ -148,6 +256,9 @@ TEST(FleetController, RejectsBadConstruction) {
   FleetControllerConfig bad_epoch;
   bad_epoch.epoch = SimTime::zero();
   EXPECT_THROW(FleetController(&sim, &spine, bad_epoch), std::invalid_argument);
+  FleetControllerConfig bad_half_life;
+  bad_half_life.demand_half_life_epochs = -1.0;
+  EXPECT_THROW(FleetController(&sim, &spine, bad_half_life), std::invalid_argument);
   // Without a registry the controller owns a private one (unit-test
   // convenience, mirroring Network and CrcController).
   FleetController own(&sim, &spine);

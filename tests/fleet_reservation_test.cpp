@@ -294,6 +294,42 @@ TEST(FleetReservationPolicy, PreemptedPairFallsBackAndKeepsDelivering) {
   EXPECT_GT(fleet.spine().link_packets(1, 0), 0u);
 }
 
+TEST(FleetReservationPolicy, PureBulkIncastNotesDemandAndPromotes) {
+  // Store-and-forward flows must feed the pair-demand tracker too:
+  // under the bulk comparison baseline the reservation policy used to
+  // be blind (no packetization step ever noted byte·hops), so a
+  // persistently hot rack pair was never promoted. A sustained
+  // pure-bulk incast onto rack 1 must now earn its carve.
+  FleetConfig fc = policy_fleet(true);
+  fc.transport = runtime::SpineTransport::kStoreAndForward;
+  fc.controller.epoch = 100_us;
+  FleetRuntime fleet(fc);
+  constexpr int kSenders = 6;
+  constexpr int kFlows = 36;
+  int launched = 0;
+  int completed = 0;
+  std::function<void()> launch = [&] {
+    ++launched;
+    runtime::FleetFlowSpec spec;
+    spec.src = fleet.at(0, launched % 4, (launched / 4) % 4);
+    spec.dst = fleet.at(1, 0, 0);
+    spec.size = DataSize::kilobytes(64);
+    fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) {
+      ASSERT_FALSE(r.failed);
+      ++completed;
+      if (launched < kFlows) launch();
+    });
+  };
+  for (int i = 0; i < kSenders; ++i) launch();
+  fleet.start();
+  fleet.run_until();
+  fleet.stop();
+  EXPECT_EQ(completed, kFlows);
+  // Demand was recorded in byte·hops and the hot pair got promoted.
+  EXPECT_FALSE(fleet.spine().pair_demand().empty());
+  EXPECT_GE(fleet.controller().promotions(), 1u);
+}
+
 TEST(FleetReservationPolicy, RejectsBadPolicyConfig) {
   FleetConfig fc = policy_fleet(true);
   fc.controller.reservations.fraction = 1.0;
