@@ -52,7 +52,19 @@ struct AlwaysRecyclable {
   }
 };
 
-template <typename T, typename Gen = std::uint32_t, typename Gate = AlwaysRecyclable>
+/// Default recycle reset: assign a default-constructed T. Pools whose
+/// T makes that needlessly expensive (e.g. std::function's
+/// construct-and-swap move assignment) supply a cheaper Reset policy
+/// that clears the slot in place.
+struct AssignDefault {
+  template <typename T>
+  void operator()(T& slot) const {
+    slot = T{};
+  }
+};
+
+template <typename T, typename Gen = std::uint32_t, typename Gate = AlwaysRecyclable,
+          typename Reset = AssignDefault>
 class SlotPool {
  public:
   /// A versioned slot reference: the index addresses the dense
@@ -74,9 +86,17 @@ class SlotPool {
   /// grown at the back. The slot's contents are default-constructed
   /// (recycle resets in place); the caller fills it through
   /// operator[]. Returns the slot's versioned handle.
+  ///
+  /// The free list's top element lives in spare_, not the vector:
+  /// one-deep churn (claim, recycle, claim, ... — every per-event hot
+  /// path) never touches vector bookkeeping. LIFO order is unchanged;
+  /// spare_ is simply the top of the stack.
   [[nodiscard]] Handle claim() {
     std::uint32_t idx;
-    if (!free_.empty()) {
+    if (spare_ != Handle::kInvalidIndex) {
+      idx = spare_;
+      spare_ = Handle::kInvalidIndex;
+    } else if (!free_.empty()) {
       idx = free_.back();
       free_.pop_back();
     } else {
@@ -98,13 +118,14 @@ class SlotPool {
     // catch later (the index would sit on the free list twice and two
     // claims would alias one slot at the same generation): fail
     // loudly at the bug instead of corrupting a future claimant.
-    if (index >= slots_.size() || !meta_[index].live) {
+    if (index >= meta_.size() || !meta_[index].live) {
       throw std::logic_error("SlotPool: recycle of a free or unknown slot");
     }
-    slots_[index] = T{};
+    reset_(slots_[index]);
     ++meta_[index].generation;
     meta_[index].live = false;
-    free_.push_back(index);
+    if (spare_ != Handle::kInvalidIndex) free_.push_back(spare_);
+    spare_ = index;
   }
 
   /// Gate-checked recycle: a no-op (false) while the pool's Gate says
@@ -115,7 +136,7 @@ class SlotPool {
   /// reset (e.g. erasing an id -> index map entry).
   template <typename Cleanup>
   bool maybe_recycle(std::uint32_t index, Cleanup&& cleanup) {
-    if (index >= slots_.size()) {
+    if (index >= meta_.size()) {
       throw std::logic_error("SlotPool: maybe_recycle of an unknown slot");
     }
     if (!meta_[index].live || !gate_(slots_[index])) return false;
@@ -128,9 +149,12 @@ class SlotPool {
   }
 
   /// True while `handle` names the live occupant it was claimed for:
-  /// the slot is claimed and has not been recycled since.
+  /// the slot is claimed and has not been recycled since. The bounds
+  /// check runs against meta_ (same length as slots_) because its
+  /// element size is a power of two — hot callers pay a shift, not a
+  /// divide by sizeof(T).
   [[nodiscard]] bool is_live(Handle handle) const {
-    return handle.valid() && handle.index < slots_.size() && meta_[handle.index].live &&
+    return handle.valid() && handle.index < meta_.size() && meta_[handle.index].live &&
            meta_[handle.index].generation == handle.generation;
   }
   [[nodiscard]] bool is_live(std::uint32_t index, Gen generation) const {
@@ -165,11 +189,20 @@ class SlotPool {
     return meta_[index].generation;
   }
 
+  /// Test seam: force a slot's generation counter so wrap-around
+  /// behaviour is coverable without 2^32 claim/recycle cycles. Never
+  /// called from production code.
+  void set_generation_for_test(std::uint32_t index, Gen generation) {
+    meta_.at(index).generation = generation;
+  }
+
   /// Total slots ever allocated — the pool's high-water concurrency,
   /// not the number of objects that passed through it.
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
-  /// Slots currently on the free list.
-  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+  /// Slots currently on the free list (spare_ included).
+  [[nodiscard]] std::size_t free_count() const {
+    return free_.size() + (spare_ != Handle::kInvalidIndex ? 1 : 0);
+  }
 
  private:
   struct Meta {
@@ -179,8 +212,10 @@ class SlotPool {
 
   std::vector<T> slots_;
   std::vector<Meta> meta_;
-  std::vector<std::uint32_t> free_;  // LIFO: back is the next claim
+  std::vector<std::uint32_t> free_;  // LIFO below spare_
+  std::uint32_t spare_ = Handle::kInvalidIndex;  // top of the free stack
   [[no_unique_address]] Gate gate_{};
+  [[no_unique_address]] Reset reset_{};
 };
 
 }  // namespace rsf::core

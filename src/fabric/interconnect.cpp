@@ -363,8 +363,10 @@ bool Interconnect::send_packet(SpineLinkId id, std::uint32_t from_rack, phy::Dat
     ++drops_slot_;
   }
   if (cb) {
-    sim_->schedule_at(arrival,
-                      [cb = std::move(cb), arrival, lost] { cb(arrival, !lost); });
+    const auto complete = [cb = std::move(cb), arrival, lost] { cb(arrival, !lost); };
+    static_assert(sim::is_inline_event_v<decltype(complete)>,
+                  "the spine packet completion must stay on the inline event arm");
+    sim_->schedule_at(arrival, complete);
   }
   return true;
 }

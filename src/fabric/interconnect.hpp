@@ -41,13 +41,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/slot_pool.hpp"
+#include "core/small_function.hpp"
 #include "phy/types.hpp"
 #include "phy/units.hpp"
 #include "sim/random.hpp"
@@ -99,11 +99,15 @@ struct SpineLinkParams {
 class Interconnect {
  public:
   /// cb(arrival): the transfer's last bit reaches the far gateway.
-  using DeliveryCallback = std::function<void(rsf::sim::SimTime arrival)>;
+  /// SmallFunction (not std::function) keeps the scheduled completion
+  /// continuation trivially copyable, so it rides the Simulator's
+  /// inline event arm — per-packet spine sends never allocate.
+  using DeliveryCallback = core::SmallFunction<void(rsf::sim::SimTime arrival)>;
   /// cb(arrival, delivered): the packet's last bit reaches the far
   /// gateway (delivered == false when the hop lost it — the sender
   /// owns retransmission).
-  using PacketCallback = std::function<void(rsf::sim::SimTime arrival, bool delivered)>;
+  using PacketCallback =
+      core::SmallFunction<void(rsf::sim::SimTime arrival, bool delivered)>;
 
   /// Metrics go to `registry` under "spine.*" (never null; the
   /// FleetRuntime hands the fleet registry in). `seed` feeds the loss

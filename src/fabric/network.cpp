@@ -216,9 +216,13 @@ void Network::hop(Packet pkt, phy::NodeId node, SimTime head_ready, SimTime tail
   const SimTime next_head_ready = basis + config_.switch_params.switch_latency;
   // One event per hop, fired when the packet becomes actionable at the
   // next element.
-  sim_->schedule_at(basis, [this, pkt, next, next_head_ready, tail_arrival] {
+  const auto continue_hop = [this, pkt, next, next_head_ready, tail_arrival] {
     hop(pkt, next, next_head_ready, tail_arrival);
-  });
+  };
+  static_assert(sim::is_inline_event_v<decltype(continue_hop)>,
+                "the per-hop continuation sizes kInlineEventBytes; growing it off "
+                "the inline arm would put an allocation on every simulated hop");
+  sim_->schedule_at(basis, continue_hop);
 }
 
 void Network::deliver(const Packet& pkt, SimTime when) {

@@ -345,7 +345,10 @@ void FleetRuntime::packet_retry(std::uint32_t pkt_idx) {
   ++pkt.retries;
   if (FleetFlowState* f = live_flow(pkt)) ++f->retransmits;
   ++spine_retransmits_slot_;
-  sim_.schedule_after(config_.retry_delay, [this, pkt_idx] { packet_step(pkt_idx); });
+  const auto retry = [this, pkt_idx] { packet_step(pkt_idx); };
+  static_assert(sim::is_inline_event_v<decltype(retry)>,
+                "the per-packet retry must stay on the inline event arm");
+  sim_.schedule_after(config_.retry_delay, retry);
 }
 
 void FleetRuntime::packet_delivered(std::uint32_t pkt_idx) {

@@ -1,37 +1,96 @@
-// rsf::sim — events and event handles.
+// rsf::sim — event ids, the tagged event record, and its two arms.
+//
+// The kernel stores every scheduled event as a fixed-size, trivially
+// copyable EventRecord. A record has two arms:
+//
+//  - **Inline arm.** A callable that is trivially copyable, trivially
+//    destructible, and at most kInlineEventBytes big is placement-new'd
+//    straight into the record's payload, with a monomorphized
+//    trampoline as the invoke pointer. This covers every per-packet
+//    continuation on the hot paths (rack-fabric hops, spine hops, FIFO
+//    releases, probe/flow pumps) — scheduling one is a memcpy into a
+//    bucket, not a heap allocation.
+//  - **Cold arm.** Anything else (move-captured vectors, stored
+//    std::functions, oversized captures) is wrapped in an EventHandler
+//    riding in the event's liveness slot inside the Simulator. Cold
+//    callers keep working unchanged — they just don't get the inline
+//    fast path.
+//
+// The arm is selected automatically per call site by Simulator's
+// templated schedule_* front end (is_inline_event_v below), so no
+// caller migrates by hand and a capture that grows past the budget
+// degrades to the cold arm instead of breaking the build. Hot paths
+// pin their eligibility with static_asserts at the call site.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 
 #include "sim/time.hpp"
 
 namespace rsf::sim {
 
-/// Identifies a scheduled event so it can be cancelled. Ids are unique
-/// for the lifetime of a Simulator and never reused.
+/// Identifies a scheduled event so it can be cancelled. An id packs
+/// the event's dense liveness slot and that slot's generation; slots
+/// are recycled, so a stale id (fired, cancelled, never existed, or
+/// outlived by 2^32 recycles of one slot) fails the generation check
+/// and cancel() reports false instead of touching the new occupant.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
-/// The action an event performs when it fires. Handlers run at the
-/// event's timestamp; they may schedule further events but must not
-/// block. Handlers are plain callbacks — the kernel is single-threaded
-/// and deterministic by construction.
+/// The cold arm's closure type. Handlers run at the event's timestamp;
+/// they may schedule further events but must not block and must not
+/// re-enter the Simulator's run loops.
 using EventHandler = std::function<void()>;
 
-/// A scheduled event, ordered by (time, sequence). The sequence number
-/// makes the ordering a strict total order, so two events scheduled for
-/// the same instant always fire in scheduling order: determinism does
-/// not depend on heap tie-breaking.
-struct Event {
-  SimTime time;
-  EventId id = kInvalidEventId;
-  EventHandler handler;
+/// Inline payload budget. Sized for the largest per-packet
+/// continuation on the hot paths — Network::hop's
+/// [this, Packet, NodeId, SimTime, SimTime] capture (96 bytes) —
+/// which also lands the whole record on exactly two cache lines
+/// (static_assert below). A capture that outgrows the budget falls
+/// off the fast path onto the cold arm; the hot paths pin themselves
+/// with static_asserts at the call site.
+inline constexpr std::size_t kInlineEventBytes = 96;
 
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.id > b.id;
-  }
+/// True when scheduling `F` takes the inline arm: invocable, trivially
+/// copyable and destructible (records move between buckets by memcpy,
+/// and tombstones are dropped without running destructors), within the
+/// payload budget, and not over-aligned.
+template <typename F>
+inline constexpr bool is_inline_event_v =
+    std::is_invocable_r_v<void, F&> && std::is_trivially_copyable_v<F> &&
+    std::is_trivially_destructible_v<F> && sizeof(F) <= kInlineEventBytes &&
+    alignof(F) <= alignof(std::max_align_t);
+
+/// One scheduled event. Ordered by (time, seq): seq is the global
+/// insertion sequence, so two events scheduled for the same instant
+/// always fire in scheduling order — determinism does not depend on
+/// queue internals. Trivially copyable by design: calendar buckets
+/// shuffle records freely.
+/// Deliberately without default member initializers: records are
+/// constructed in place inside the calendar slab and every field is
+/// written at schedule time — a trivial default constructor keeps slab
+/// growth a pure reallocation.
+struct EventRecord {
+  SimTime time;
+  std::uint64_t seq;
+  /// Liveness: dense slot index + the generation it was claimed at.
+  /// A record whose slot has moved on (cancel, or fire + reuse) is a
+  /// tombstone, skipped and reclaimed when the queue next touches it.
+  std::uint32_t slot;
+  std::uint32_t generation;
+  /// Inline arm: monomorphized trampoline over `payload`.
+  /// nullptr tags the cold arm; the EventHandler then lives in the
+  /// event's liveness slot and the payload is unused.
+  void (*invoke)(void*);
+  alignas(alignof(std::max_align_t)) std::byte payload[kInlineEventBytes];
 };
+
+static_assert(std::is_trivially_copyable_v<EventRecord>);
+// Exactly two cache lines: slab addressing is a shift, and a record
+// never straddles a third line.
+static_assert(sizeof(EventRecord) == 128);
 
 }  // namespace rsf::sim

@@ -1,105 +1,275 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
-#include <utility>
 
 namespace rsf::sim {
 
-EventId Simulator::schedule_impl(SimTime when, EventHandler handler, bool weak) {
-  if (when < now_) {
-    throw std::logic_error("Simulator::schedule_at: time " + when.to_string() +
-                           " precedes now " + now_.to_string());
-  }
-  if (!handler) {
-    throw std::invalid_argument("Simulator::schedule_at: empty handler");
-  }
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(handler)});
-  (weak ? weak_ids_ : strong_ids_).insert(id);
-  return id;
+Simulator::Simulator() {
+  heads_.fill(kNilIndex);
+  batch_.reserve(16);
 }
 
-EventId Simulator::schedule_at(SimTime when, EventHandler handler) {
-  return schedule_impl(when, std::move(handler), /*weak=*/false);
+void Simulator::throw_empty_handler() {
+  throw std::invalid_argument("Simulator::schedule_at: empty handler");
 }
 
-EventId Simulator::schedule_weak_at(SimTime when, EventHandler handler) {
-  return schedule_impl(when, std::move(handler), /*weak=*/true);
+void Simulator::throw_past_time(SimTime when) const {
+  throw std::logic_error("Simulator::schedule_at: time " + when.to_string() +
+                         " precedes now " + now_.to_string());
+}
+
+// Overflow-to-ring migration only: the record already carries a full
+// header, it just needs a slab slot and a bucket link.
+void Simulator::insert_record(const EventRecord& rec) {
+  const std::int64_t rel = rec.time.ps() - base_ps_;
+  if (rel >= kWindowPs) {
+    overflow_.push_back(rec);
+    return;
+  }
+  const auto b = static_cast<std::size_t>(rel >> kBucketShift);
+  const std::uint32_t index = claim_record_index();
+  records_[index] = rec;
+  record_next_[index] = heads_[b];
+  heads_[b] = index;
+  occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  if ((b >> 6) < scan_word_) scan_word_ = b >> 6;
+  sole_ring_index_ = ring_count_ == 0 ? index : kNilIndex;
+  ++ring_count_;
 }
 
 bool Simulator::cancel(EventId id) {
-  // An id absent from both sets has either fired, been cancelled
-  // already, or never existed — all report false.
-  return strong_ids_.erase(id) > 0 || weak_ids_.erase(id) > 0;
+  const std::uint64_t slot_plus_1 = id >> 32;
+  if (slot_plus_1 == 0) return false;
+  const auto index = static_cast<std::uint32_t>(slot_plus_1 - 1);
+  const auto generation = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  if (!slots_.is_live(index, generation)) return false;
+  --(slots_[index].weak ? weak_count_ : strong_count_);
+  slots_.recycle(index);
+  return true;
 }
 
-bool Simulator::pop_next(Event& out, bool* was_weak) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the handler must be copied
-    // out before pop. Handlers are small (std::function) so this is
-    // acceptable on the event path.
-    Event ev = queue_.top();
-    queue_.pop();
-    bool weak = false;
-    if (strong_ids_.erase(ev.id) == 0) {
-      if (weak_ids_.erase(ev.id) == 0) continue;  // cancelled tombstone
-      weak = true;
+bool Simulator::next_batch(SimTime until) {
+  for (;;) {
+    if (ring_count_ == 0 && !promote_overflow(until)) return false;
+    // Sole-record fast path: with exactly one record in the ring it is
+    // the earliest by definition and the head (and only node) of its
+    // bucket — no scan, no walk.
+    if (sole_ring_index_ != kNilIndex) {
+      const std::uint32_t index = sole_ring_index_;
+      sole_ring_index_ = kNilIndex;
+      const EventRecord& rec = records_[index];
+      const auto b =
+          static_cast<std::size_t>((rec.time.ps() - base_ps_) >> kBucketShift);
+      if (!slots_.is_live(rec.slot, rec.generation)) {
+        // A tombstone: reclaim it here and fall back around the loop.
+        heads_[b] = kNilIndex;
+        occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+        free_record_index(index);
+        ring_count_ = 0;
+        continue;
+      }
+      if (rec.time > until) {
+        sole_ring_index_ = index;  // still pending; keep the hint
+        return false;
+      }
+      heads_[b] = kNilIndex;
+      occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+      ring_count_ = 0;
+      batch_.clear();
+      batch_cursor_ = 0;
+      batch_.push_back(index);
+      now_ = rec.time;
+      batch_time_ = rec.time;
+      return true;
     }
-    if (was_weak != nullptr) *was_weak = weak;
-    out = std::move(ev);
+    std::size_t word = scan_word_;
+    while (occupied_[word] == 0) ++word;
+    scan_word_ = word;
+    const std::size_t b =
+        (word << 6) + static_cast<std::size_t>(std::countr_zero(occupied_[word]));
+    // Pass 1: unlink tombstones, find the earliest live time.
+    SimTime min_time = SimTime::infinity();
+    std::uint32_t index = heads_[b];
+    std::uint32_t prev = kNilIndex;
+    while (index != kNilIndex) {
+      const std::uint32_t next = record_next_[index];
+      const EventRecord& rec = records_[index];
+      if (!slots_.is_live(rec.slot, rec.generation)) {
+        (prev == kNilIndex ? heads_[b] : record_next_[prev]) = next;
+        free_record_index(index);
+        --ring_count_;
+      } else {
+        if (rec.time < min_time) min_time = rec.time;
+        prev = index;
+      }
+      index = next;
+    }
+    if (heads_[b] == kNilIndex) {
+      occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+      continue;
+    }
+    if (min_time > until) return false;
+    batch_.clear();
+    batch_cursor_ = 0;
+    if (record_next_[heads_[b]] == kNilIndex) {
+      // Lone record in the bucket: it is the whole batch.
+      batch_.push_back(heads_[b]);
+      heads_[b] = kNilIndex;
+      occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+      --ring_count_;
+      now_ = min_time;
+      batch_time_ = min_time;
+      return true;
+    }
+    // Pass 2: extract every record at min_time into the batch (their
+    // slab indices; the records stay in place until drained).
+    index = heads_[b];
+    prev = kNilIndex;
+    while (index != kNilIndex) {
+      const std::uint32_t next = record_next_[index];
+      if (records_[index].time == min_time) {
+        batch_.push_back(index);
+        (prev == kNilIndex ? heads_[b] : record_next_[prev]) = next;
+        --ring_count_;
+      } else {
+        prev = index;
+      }
+      index = next;
+    }
+    if (heads_[b] == kNilIndex) {
+      occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    if (batch_.size() > 1) {
+      std::sort(batch_.begin(), batch_.end(), [this](std::uint32_t a, std::uint32_t c) {
+        return records_[a].seq < records_[c].seq;
+      });
+    }
+    now_ = min_time;
+    batch_time_ = min_time;
     return true;
   }
-  return false;
 }
 
-std::size_t Simulator::run_until(SimTime until) {
+bool Simulator::promote_overflow(SimTime until) {
+  // The ring is empty. Sweep overflow tombstones and find the earliest
+  // live event without committing to anything.
+  SimTime min_time = SimTime::infinity();
+  std::size_t i = 0;
+  while (i < overflow_.size()) {
+    const EventRecord& rec = overflow_[i];
+    if (!slots_.is_live(rec.slot, rec.generation)) {
+      overflow_[i] = overflow_.back();
+      overflow_.pop_back();
+      continue;
+    }
+    if (rec.time < min_time) min_time = rec.time;
+    ++i;
+  }
+  if (overflow_.empty() || min_time > until) return false;
+  // Committed to executing at min_time: re-anchor the window there and
+  // migrate everything that now fits. Peeking alone must not re-anchor:
+  // base_ps_ may never pass now_, or a schedule between them would
+  // compute a negative bucket.
+  base_ps_ = (min_time.ps() >> kBucketShift) << kBucketShift;
+  i = 0;
+  while (i < overflow_.size()) {
+    if (overflow_[i].time.ps() - base_ps_ < kWindowPs) {
+      insert_record(overflow_[i]);
+      overflow_[i] = overflow_.back();
+      overflow_.pop_back();
+      continue;
+    }
+    ++i;
+  }
+  return true;
+}
+
+std::size_t Simulator::drain_one() {
+  const std::uint32_t index = batch_[batch_cursor_++];
+  // `stored` stays valid until a handler runs: freeing the slab index
+  // only touches the free list, and everything the handler could need
+  // is copied out below before invocation.
+  const EventRecord& stored = records_[index];
+  const std::uint32_t slot = stored.slot;
+  const std::uint32_t generation = stored.generation;
+  void (*const invoke)(void*) = stored.invoke;
+  free_record_index(index);
+  if (!slots_.is_live(slot, generation)) {
+    return 0;  // cancelled while batched; cancel already freed the slot
+  }
+  --(slots_[slot].weak ? weak_count_ : strong_count_);
+  ++executed_;
+  if (invoke != nullptr) {
+    slots_.recycle(slot);
+    // The trampoline copies the functor off the slab before running
+    // it; no user code touches the record between here and that copy.
+    invoke(const_cast<std::byte*>(stored.payload));
+  } else {
+    // Move the handler out before recycling and invoking: the slot is
+    // recycled first (so a handler cancelling its own id sees false,
+    // and a chained reschedule reuses it), and the handler may grow
+    // the pool mid-call.
+    EventHandler fn = std::move(slots_[slot].cold);
+    slots_.recycle(slot);
+    fn();
+  }
+  return 1;
+}
+
+// Flattened: the per-event loop must not pay call prologues for
+// next_batch/drain_one on every event.
+__attribute__((flatten)) std::size_t Simulator::run_until(SimTime until) {
   const bool unbounded = until == SimTime::infinity();
   std::size_t count = 0;
-  Event ev;
-  while (!queue_.empty() && queue_.top().time <= until) {
-    // With no horizon, only weak events left means we are done — they
-    // exist to serve foreground work, not to be it.
-    if (unbounded && strong_ids_.empty()) break;
-    bool was_weak = false;
-    if (!pop_next(ev, &was_weak)) break;
-    if (ev.time > until) {
-      // The heap top was a tombstone hiding a live event beyond the
-      // horizon; restore it untouched.
-      (was_weak ? weak_ids_ : strong_ids_).insert(ev.id);
-      queue_.push(std::move(ev));
+  for (;;) {
+    if (unbounded && strong_count_ == 0) break;
+    if (batch_cursor_ < batch_.size()) {
+      if (batch_time_ > until) break;  // resumed batch beyond this horizon
+    } else if (!next_batch(until)) {
       break;
     }
-    now_ = ev.time;
-    ++executed_;
-    ++count;
-    ev.handler();
+    count += drain_one();
   }
-  if (idle() && !unbounded && now_ < until) {
+  if (strong_count_ == 0 && !unbounded && now_ < until) {
     now_ = until;
   }
   return count;
 }
 
-std::size_t Simulator::run_events(std::size_t max_events) {
+__attribute__((flatten)) std::size_t Simulator::run_events(std::size_t max_events) {
   std::size_t count = 0;
-  Event ev;
-  while (count < max_events && pop_next(ev)) {
-    now_ = ev.time;
-    ++executed_;
-    ++count;
-    ev.handler();
+  while (count < max_events) {
+    if (batch_cursor_ == batch_.size() && !next_batch(SimTime::infinity())) break;
+    count += drain_one();
   }
   return count;
 }
 
 void Simulator::fast_forward_to(SimTime when) {
-  if (!strong_ids_.empty() || !weak_ids_.empty()) {
+  if (strong_count_ != 0 || weak_count_ != 0) {
     throw std::logic_error("Simulator::fast_forward_to: events pending");
   }
   if (when < now_) {
     throw std::logic_error("Simulator::fast_forward_to: cannot rewind");
   }
+  // Everything still queued is a tombstone (no live events, and a
+  // tombstone owns nothing — cancel freed its slot and handler). Drop
+  // them all and re-anchor the ring at the new clock.
+  heads_.fill(kNilIndex);
+  batch_.clear();
+  batch_cursor_ = 0;
+  overflow_.clear();
+  records_.clear();
+  record_next_.clear();
+  record_free_.clear();
+  record_spare_ = kNilIndex;
+  occupied_.fill(0);
+  ring_count_ = 0;
+  sole_ring_index_ = kNilIndex;
   now_ = when;
+  base_ps_ = (when.ps() >> kBucketShift) << kBucketShift;
 }
 
 }  // namespace rsf::sim

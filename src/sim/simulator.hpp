@@ -1,18 +1,52 @@
 // rsf::sim — the discrete-event simulation kernel.
 //
-// A Simulator owns a future-event set (binary heap) and the simulation
-// clock. Components schedule closures at absolute or relative times;
-// run() drains events in (time, insertion) order. The kernel is
+// A Simulator owns the future-event set and the simulation clock.
+// Components schedule closures at absolute or relative times; run()
+// drains events in (time, insertion-sequence) order. The kernel is
 // single-threaded: determinism is a design requirement because every
 // experiment in the benchmark suite must be re-runnable bit-for-bit.
+//
+// Internally the future-event set is a calendar queue of trivially
+// copyable EventRecords (see event.hpp):
+//
+//  - **Calendar ring.** 1024 buckets of 2^12 ps (~4 ns) cover a ~4.2 µs
+//    window starting at base_ps_; scheduling into the window is an
+//    index computation and a push onto that bucket's intrusive list.
+//    Records live in one grow-only slab (recycled through a free
+//    list), so a bucket is just a head index — constructing a
+//    Simulator allocates nothing and steady-state scheduling reuses
+//    slab slots. Events beyond the window land in an overflow list
+//    and migrate into the ring when the window re-anchors past them
+//    (watchdogs, far-future epochs).
+//  - **Liveness slots.** Each pending event claims a dense
+//    core::SlotPool slot; its EventId packs {slot+1, generation}, so
+//    cancel() and liveness checks are an index + generation compare —
+//    no hashing. Cancelled events leave tombstone records that are
+//    reclaimed when the queue next touches their bucket.
+//  - **Batch drain.** run_*() extracts every record sharing the
+//    earliest pending timestamp as one batch, sorts it by insertion
+//    sequence, advances the clock once, and fires the batch in order.
+//    Handlers scheduling at now() extend the drain with a follow-on
+//    batch at the same instant.
+//
+// The (time, insertion-sequence) total order is what callers observe;
+// bucket layout and batch boundaries are invisible to it. Handlers
+// must not re-enter run_until()/run_events().
+//
+// The record/queue split is deliberate groundwork for conservative-
+// PDES sharding: a shard is this queue plus its slot pool, and records
+// already move by memcpy.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "core/slot_pool.hpp"
 #include "sim/event.hpp"
 #include "sim/time.hpp"
 
@@ -20,36 +54,46 @@ namespace rsf::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time. Starts at zero.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `handler` to run at absolute time `when`.
+  /// Schedule a callable to run at absolute time `when`.
   /// `when` must not precede now(); scheduling in the past is a logic
-  /// error and throws.
-  EventId schedule_at(SimTime when, EventHandler handler);
+  /// error and throws. Small trivially copyable callables are stored
+  /// inline in the event record (no allocation); anything else takes
+  /// the cold EventHandler arm. An empty handler throws.
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& f) {
+    return schedule_arm(when, std::forward<F>(f), /*weak=*/false);
+  }
 
-  /// Schedule `handler` to run `delay` after the current time.
-  EventId schedule_after(SimTime delay, EventHandler handler) {
-    return schedule_at(now_ + delay, std::move(handler));
+  /// Schedule a callable to run `delay` after the current time.
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& f) {
+    return schedule_arm(now_ + delay, std::forward<F>(f), /*weak=*/false);
   }
 
   /// Weak events do not keep the simulation alive: run_until() with no
   /// horizon stops once only weak events remain. Periodic background
   /// activities (controller epochs, BER drivers, watchdogs) schedule
   /// weak so "run until the workload drains" terminates naturally.
-  EventId schedule_weak_at(SimTime when, EventHandler handler);
-  EventId schedule_weak_after(SimTime delay, EventHandler handler) {
-    return schedule_weak_at(now_ + delay, std::move(handler));
+  template <typename F>
+  EventId schedule_weak_at(SimTime when, F&& f) {
+    return schedule_arm(when, std::forward<F>(f), /*weak=*/true);
+  }
+  template <typename F>
+  EventId schedule_weak_after(SimTime delay, F&& f) {
+    return schedule_arm(now_ + delay, std::forward<F>(f), /*weak=*/true);
   }
 
   /// Cancel a previously scheduled event. Returns true if the event was
   /// pending (it will no longer fire); false if it already fired, was
   /// already cancelled, or never existed. Cancellation is O(1): the
-  /// event is tombstoned and skipped when popped.
+  /// liveness slot is recycled and the record becomes a tombstone.
   bool cancel(EventId id);
 
   /// Run until the event set is empty or `until` is reached (events at
@@ -61,12 +105,12 @@ class Simulator {
   std::size_t run_events(std::size_t max_events);
 
   /// True if no live *strong* events remain (weak events do not count).
-  [[nodiscard]] bool idle() const { return strong_ids_.empty(); }
+  [[nodiscard]] bool idle() const { return strong_count_ == 0; }
 
   /// Number of live pending strong events.
-  [[nodiscard]] std::size_t pending() const { return strong_ids_.size(); }
+  [[nodiscard]] std::size_t pending() const { return strong_count_; }
   /// Number of live pending weak events.
-  [[nodiscard]] std::size_t pending_weak() const { return weak_ids_.size(); }
+  [[nodiscard]] std::size_t pending_weak() const { return weak_count_; }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
@@ -76,22 +120,180 @@ class Simulator {
   void fast_forward_to(SimTime when);
 
  private:
-  struct Compare {
-    bool operator()(const Event& a, const Event& b) const { return a > b; }
+  friend struct SimulatorTestPeer;
+
+  // Calendar geometry: 1024 buckets of 2^12 ps give a ~4.2 us window,
+  // matching the sub-us inter-event gaps of the packet paths. The ring
+  // is a flat window [base_ps_, base_ps_ + kWindowPs) — it only
+  // re-anchors when empty, so buckets never wrap.
+  static constexpr int kBucketShift = 12;  // 2^12 ps ≈ 4 ns per bucket
+  static constexpr std::size_t kBucketCount = 1024;
+  static constexpr std::int64_t kBucketWidthPs = std::int64_t{1} << kBucketShift;
+  static constexpr std::int64_t kWindowPs =
+      static_cast<std::int64_t>(kBucketCount) << kBucketShift;
+
+  struct EventSlot {
+    /// Engaged only for cold-arm events; the handler dies with the
+    /// slot (fire moves it out, cancel's recycle destroys it in
+    /// place), so tombstone records never own anything.
+    EventHandler cold;
+    bool weak = false;
   };
 
-  bool pop_next(Event& out, bool* was_weak = nullptr);
-  EventId schedule_impl(SimTime when, EventHandler handler, bool weak);
+  /// Recycle reset for the event pool: clearing in place is one
+  /// engaged-check branch, where the default assign-T{} would run
+  /// std::function's construct-and-swap move on every drained event.
+  struct EventSlotReset {
+    void operator()(EventSlot& slot) const {
+      slot.cold = nullptr;
+      slot.weak = false;
+    }
+  };
+
+  template <typename F>
+  EventId schedule_arm(SimTime when, F&& f, bool weak) {
+    using Fn = std::decay_t<F>;
+    if constexpr (is_inline_event_v<Fn>) {
+      if constexpr (std::is_convertible_v<const Fn&, bool>) {
+        if (!static_cast<bool>(f)) throw_empty_handler();
+      }
+      // The record is built in its final storage: acquire writes the
+      // header, the payload is placement-new'd directly into the slab.
+      EventRecord& rec = acquire_record(when, weak);
+      ::new (static_cast<void*>(rec.payload)) Fn(std::forward<F>(f));
+      rec.invoke = [](void* payload) {
+        // Copy out before running: the trampoline knows sizeof(Fn), so
+        // it copies just the functor (not the whole payload), and the
+        // handler may then schedule, growing or reusing the slab
+        // behind `payload`.
+        Fn fn = *std::launder(reinterpret_cast<Fn*>(payload));
+        fn();
+      };
+      return encode_id(rec.slot, rec.generation);
+    } else {
+      return schedule_cold(when, EventHandler(std::forward<F>(f)), weak);
+    }
+  }
+
+  static constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
+
+  // Defined below the class: the whole schedule fast path is in the
+  // header so every call site inlines it — scheduling an event must
+  // not cost a cross-TU call.
+  EventId schedule_cold(SimTime when, EventHandler handler, bool weak);
+  EventRecord& acquire_record(SimTime when, bool weak);
+  void insert_record(const EventRecord& rec);
+  [[noreturn]] static void throw_empty_handler();
+  [[noreturn]] void throw_past_time(SimTime when) const;
+
+  bool next_batch(SimTime until);
+  bool promote_overflow(SimTime until);
+  std::size_t drain_one();
+
+  /// Record-slab free list with its top element in record_spare_:
+  /// one-deep churn (the schedule/drain cycle of chained events) stays
+  /// out of the vector. LIFO reuse order is unchanged.
+  std::uint32_t claim_record_index() {
+    std::uint32_t index;
+    if (record_spare_ != kNilIndex) {
+      index = record_spare_;
+      record_spare_ = kNilIndex;
+    } else if (!record_free_.empty()) {
+      index = record_free_.back();
+      record_free_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(records_.size());
+      records_.emplace_back();
+      record_next_.emplace_back();
+    }
+    return index;
+  }
+  void free_record_index(std::uint32_t index) {
+    if (record_spare_ != kNilIndex) record_free_.push_back(record_spare_);
+    record_spare_ = index;
+  }
+
+  static EventId encode_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+  }
 
   SimTime now_ = SimTime::zero();
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Compare> queue_;
-  // Ids of live (scheduled, not yet fired, not cancelled) events,
-  // partitioned by strength. An id present in the heap but in neither
-  // set has been cancelled and is skipped on pop.
-  std::unordered_set<EventId> strong_ids_;
-  std::unordered_set<EventId> weak_ids_;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t strong_count_ = 0;
+  std::size_t weak_count_ = 0;
+
+  // Liveness slots for pending events; a cold-arm event's handler
+  // rides in its slot. Slots recycle, so steady-state scheduling never
+  // allocates.
+  core::SlotPool<EventSlot, std::uint32_t, core::AlwaysRecyclable, EventSlotReset> slots_;
+
+  // The record slab: ring records live here, threaded into per-bucket
+  // singly linked lists via record_next_. Freed indices recycle LIFO.
+  std::vector<EventRecord> records_;
+  std::vector<std::uint32_t> record_next_;
+  std::vector<std::uint32_t> record_free_;
+  std::uint32_t record_spare_ = kNilIndex;  // top of the record free stack
+  std::array<std::uint32_t, kBucketCount> heads_;
+  // One bit per non-empty bucket; the next candidate bucket is the
+  // lowest set bit (buckets below it were swept empty). scan_word_ is
+  // a lower bound on the first non-zero word: every word below it is
+  // zero. Scans advance it past zeros; inserts pull it back down.
+  std::array<std::uint64_t, kBucketCount / 64> occupied_{};
+  std::size_t scan_word_ = 0;
+  std::vector<EventRecord> overflow_;
+  std::int64_t base_ps_ = 0;        // ring window origin, bucket-aligned
+  std::size_t ring_count_ = 0;      // records (live + tombstone) in the ring
+  // When ring_count_ == 1, the slab index of that one record (else
+  // kNilIndex). Chained workloads — one pending event at a time —
+  // spend their whole life in this state, and next_batch() then skips
+  // the bitmap scan and bucket walk outright.
+  std::uint32_t sole_ring_index_ = kNilIndex;
+
+  // The batch being drained: slab indices of all records at
+  // batch_time_, in insertion order. Persists across run_*() calls so
+  // a run that stops mid-batch (event budget, weak-only break) resumes
+  // exactly where it left off.
+  std::vector<std::uint32_t> batch_;
+  std::size_t batch_cursor_ = 0;
+  SimTime batch_time_ = SimTime::zero();
 };
+
+inline EventRecord& Simulator::acquire_record(SimTime when, bool weak) {
+  if (when < now_) throw_past_time(when);
+  const auto slot = slots_.claim();
+  slots_[slot.index].weak = weak;
+  ++(weak ? weak_count_ : strong_count_);
+  const std::int64_t rel = when.ps() - base_ps_;
+  EventRecord* rec;
+  if (rel >= kWindowPs) {
+    rec = &overflow_.emplace_back();
+  } else {
+    const auto b = static_cast<std::size_t>(rel >> kBucketShift);
+    const std::uint32_t index = claim_record_index();
+    record_next_[index] = heads_[b];
+    heads_[b] = index;
+    occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    if ((b >> 6) < scan_word_) scan_word_ = b >> 6;
+    sole_ring_index_ = ring_count_ == 0 ? index : kNilIndex;
+    ++ring_count_;
+    rec = &records_[index];
+  }
+  rec->time = when;
+  rec->seq = next_seq_++;
+  rec->slot = slot.index;
+  rec->generation = slot.generation;
+  return *rec;
+}
+
+inline EventId Simulator::schedule_cold(SimTime when, EventHandler handler, bool weak) {
+  if (!handler) throw_empty_handler();
+  EventRecord& rec = acquire_record(when, weak);
+  // The slot's handler is empty (recycle clears it), so a swap is a
+  // plain member exchange — no construct-and-swap temporary.
+  slots_[rec.slot].cold.swap(handler);
+  rec.invoke = nullptr;
+  return encode_id(rec.slot, rec.generation);
+}
 
 }  // namespace rsf::sim

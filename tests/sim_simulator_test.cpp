@@ -2,10 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 namespace rsf::sim {
+
+/// Test seam: forces a liveness slot's generation counter so the
+/// EventId generation wrap is coverable without 2^32 schedule/cancel
+/// cycles per slot.
+struct SimulatorTestPeer {
+  static void set_slot_generation(Simulator& sim, std::uint32_t slot,
+                                  std::uint32_t generation) {
+    sim.slots_.set_generation_for_test(slot, generation);
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>((id >> 32) - 1);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  }
+};
+
 namespace {
 
 using namespace rsf::sim::literals;
@@ -263,6 +282,254 @@ TEST(Simulator, ManyEventsStaySorted) {
   }
   EXPECT_EQ(sim.run_until(), 1000u);
   EXPECT_TRUE(monotonic);
+}
+
+// A handler that schedules more work at the *same* timestamp extends
+// the drain with a follow-on batch at that instant: the new events run
+// after everything already pending there, still in insertion order.
+TEST(Simulator, SameTimestampFifoAcrossBatchBoundaries) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5_ns, [&] {
+    order.push_back(0);
+    // Scheduled mid-batch for the batch's own timestamp: these form a
+    // second batch at 5 ns and must fire after tags 1 and 2.
+    sim.schedule_at(5_ns, [&] { order.push_back(3); });
+    sim.schedule_at(5_ns, [&] {
+      order.push_back(4);
+      // And a third batch, from inside the second.
+      sim.schedule_at(5_ns, [&] { order.push_back(5); });
+    });
+  });
+  sim.schedule_at(5_ns, [&] { order.push_back(1); });
+  sim.schedule_at(5_ns, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run_until(), 6u);
+  EXPECT_EQ(sim.now(), 5_ns);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// Cancelling a later member of the batch being drained must take
+// effect even though the victim was already extracted from the queue.
+TEST(Simulator, CancelDuringBatchSuppressesLaterMember) {
+  Simulator sim;
+  std::vector<int> order;
+  EventId victim = kInvalidEventId;
+  sim.schedule_at(5_ns, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(sim.cancel(victim));
+  });
+  sim.schedule_at(5_ns, [&] { order.push_back(1); });
+  victim = sim.schedule_at(5_ns, [&] { order.push_back(2); });
+  sim.schedule_at(5_ns, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run_until(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(sim.executed(), 3u);  // the cancelled member never counts
+}
+
+// A handler cancelling its own id observes false: the slot was
+// recycled before invocation.
+TEST(Simulator, HandlerCancellingItselfSeesFalse) {
+  Simulator sim;
+  EventId self = kInvalidEventId;
+  bool self_cancel = true;
+  self = sim.schedule_at(5_ns, [&] { self_cancel = sim.cancel(self); });
+  sim.run_until();
+  EXPECT_FALSE(self_cancel);
+}
+
+// Generation wrap: a slot whose generation counter wraps past the
+// 32-bit limit keeps minting ids that stale correctly — an id from
+// before the wrap can never cancel the slot's post-wrap occupant.
+TEST(Simulator, GenerationWrapKeepsStaleIdsStale) {
+  Simulator sim;
+  // Claim and release once so slot 0 exists, then pin its generation
+  // to the wrap boundary.
+  const EventId warm = sim.schedule_at(1_ns, [] {});
+  const std::uint32_t slot = SimulatorTestPeer::slot_of(warm);
+  EXPECT_TRUE(sim.cancel(warm));
+  SimulatorTestPeer::set_slot_generation(sim, slot, 0xFFFFFFFFu);
+
+  // The LIFO free list hands the same slot back at the pinned
+  // generation.
+  const EventId pre_wrap = sim.schedule_at(1_ns, [] {});
+  ASSERT_EQ(SimulatorTestPeer::slot_of(pre_wrap), slot);
+  EXPECT_EQ(SimulatorTestPeer::generation_of(pre_wrap), 0xFFFFFFFFu);
+  EXPECT_TRUE(sim.cancel(pre_wrap));  // recycle wraps the counter to 0
+
+  // One more claim/cancel moves the slot to generation 1: `warm` was
+  // minted at generation 0, and an exact generation collision after a
+  // full wrap is the one alias the scheme cannot catch (documented in
+  // SlotPool) — the occupant under test must sit at a fresh generation.
+  const EventId mid = sim.schedule_at(1_ns, [] {});
+  ASSERT_EQ(SimulatorTestPeer::slot_of(mid), slot);
+  EXPECT_EQ(SimulatorTestPeer::generation_of(mid), 0u);
+  EXPECT_TRUE(sim.cancel(mid));
+
+  bool fired = false;
+  const EventId post_wrap = sim.schedule_at(1_ns, [&] { fired = true; });
+  ASSERT_EQ(SimulatorTestPeer::slot_of(post_wrap), slot);
+  EXPECT_EQ(SimulatorTestPeer::generation_of(post_wrap), 1u);
+
+  // Every pre-wrap id is stale; none may touch the new occupant.
+  EXPECT_FALSE(sim.cancel(pre_wrap));
+  EXPECT_FALSE(sim.cancel(warm));
+  EXPECT_FALSE(sim.cancel(mid));
+  EXPECT_EQ(sim.run_until(), 1u);
+  EXPECT_TRUE(fired);
+}
+
+// Events beyond the calendar window land in the overflow list and
+// migrate into the ring when the window re-anchors past them; their
+// order and times are unaffected.
+TEST(Simulator, FarFutureEventsMigrateFromOverflow) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<SimTime> at;
+  // Far beyond the ~4.2 us window, deliberately out of order, with a
+  // same-time pair to check seq ordering survives migration.
+  sim.schedule_at(SimTime::milliseconds(2), [&] {
+    order.push_back(3);
+    at.push_back(sim.now());
+  });
+  sim.schedule_at(SimTime::milliseconds(1), [&] {
+    order.push_back(1);
+    at.push_back(sim.now());
+  });
+  sim.schedule_at(SimTime::milliseconds(1), [&] {
+    order.push_back(2);
+    at.push_back(sim.now());
+  });
+  sim.schedule_at(10_ns, [&] {
+    order.push_back(0);
+    at.push_back(sim.now());
+  });
+  EXPECT_EQ(sim.run_until(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(at[0], 10_ns);
+  EXPECT_EQ(at[1], SimTime::milliseconds(1));
+  EXPECT_EQ(at[2], SimTime::milliseconds(1));
+  EXPECT_EQ(at[3], SimTime::milliseconds(2));
+}
+
+// A cancelled far-future event is a tombstone in the overflow list: it
+// neither fires nor blocks the idle horizon.
+TEST(Simulator, CancelledOverflowEventLeavesNoTrace) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id =
+      sim.schedule_at(SimTime::milliseconds(5), [&] { fired = true; });
+  bool near_fired = false;
+  sim.schedule_at(10_ns, [&] { near_fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.run_until(SimTime::milliseconds(10)), 1u);
+  EXPECT_TRUE(near_fired);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), SimTime::milliseconds(10));
+}
+
+// Randomized oracle: the calendar kernel against a straightforward
+// sorted-reference kernel, over a seeded op mix of schedules (near,
+// far, duplicate-time, weak), cancels (live and stale), and bounded
+// runs. Execution order, cancel results, clocks, and the executed
+// counter must agree exactly.
+TEST(Simulator, RandomizedOracleAgainstSortedReference) {
+  struct RefEvent {
+    std::int64_t time_ps;
+    std::uint64_t seq;
+    int tag;
+    bool weak;
+    bool alive;
+  };
+  struct RefKernel {
+    std::vector<RefEvent> events;
+    std::int64_t now_ps = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+
+    std::size_t schedule(std::int64_t t, int tag, bool weak) {
+      events.push_back(RefEvent{t, next_seq++, tag, weak, true});
+      return events.size() - 1;
+    }
+    bool cancel(std::size_t ref_id) {
+      if (!events[ref_id].alive) return false;
+      events[ref_id].alive = false;
+      return true;
+    }
+    bool strong_pending() const {
+      return std::any_of(events.begin(), events.end(),
+                         [](const RefEvent& e) { return e.alive && !e.weak; });
+    }
+    void run_until(std::int64_t until_ps, std::vector<int>& fired) {
+      for (;;) {
+        const RefEvent* best = nullptr;
+        for (const RefEvent& e : events) {
+          if (!e.alive || e.time_ps > until_ps) continue;
+          if (best == nullptr || e.time_ps < best->time_ps ||
+              (e.time_ps == best->time_ps && e.seq < best->seq)) {
+            best = &e;
+          }
+        }
+        if (best == nullptr) break;
+        RefEvent& e = events[static_cast<std::size_t>(best - events.data())];
+        now_ps = e.time_ps;
+        e.alive = false;
+        ++executed;
+        fired.push_back(e.tag);
+      }
+      if (!strong_pending() && now_ps < until_ps) now_ps = until_ps;
+    }
+  };
+
+  Simulator sim;
+  RefKernel ref;
+  std::vector<int> sim_fired;
+  std::vector<int> ref_fired;
+  std::vector<std::pair<EventId, std::size_t>> ids;  // (sim id, ref id)
+
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto rand_u32 = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<std::uint32_t>(rng >> 32);
+  };
+
+  int next_tag = 0;
+  for (int round = 0; round < 400; ++round) {
+    const std::uint32_t op = rand_u32() % 10;
+    if (op < 6) {
+      // Schedule: delays mix same-instant (0), in-window, and far
+      // beyond the ~4.2 us calendar window to force overflow traffic.
+      static constexpr std::int64_t kDelaysPs[] = {0, 100, 4096, 50000,
+                                                   10000000, 60000000};
+      const std::int64_t delay = kDelaysPs[rand_u32() % 6];
+      const SimTime when = sim.now() + SimTime::picoseconds(delay);
+      const bool weak = rand_u32() % 4 == 0;
+      const int tag = next_tag++;
+      EventId id;
+      if (weak) {
+        id = sim.schedule_weak_at(when, [&sim_fired, tag] { sim_fired.push_back(tag); });
+      } else {
+        id = sim.schedule_at(when, [&sim_fired, tag] { sim_fired.push_back(tag); });
+      }
+      ids.emplace_back(id, ref.schedule(when.ps(), tag, weak));
+    } else if (op < 8 && !ids.empty()) {
+      // Cancel a random id — may be live, fired, or already cancelled.
+      const auto& [sim_id, ref_id] = ids[rand_u32() % ids.size()];
+      EXPECT_EQ(sim.cancel(sim_id), ref.cancel(ref_id));
+    } else {
+      const SimTime until = sim.now() + SimTime::nanoseconds(rand_u32() % 20000);
+      sim.run_until(until);
+      ref.run_until(until.ps(), ref_fired);
+      ASSERT_EQ(sim.now().ps(), ref.now_ps) << "round " << round;
+      ASSERT_EQ(sim_fired, ref_fired) << "round " << round;
+    }
+  }
+  sim.run_until(sim.now() + SimTime::seconds(1));
+  ref.run_until(sim.now().ps(), ref_fired);
+  EXPECT_EQ(sim_fired, ref_fired);
+  EXPECT_EQ(sim.executed(), ref.executed);
+  EXPECT_EQ(sim.pending(), 0u);
 }
 
 }  // namespace
