@@ -12,9 +12,12 @@
 // job completion improves under a reservation, and how much the
 // background traffic sharing the residual degrades — both quantified
 // in the emitted JSON (--json <path>; bench-smoke uploads it).
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -41,12 +44,13 @@ const char* kind_name(SkewedScenarioKind k) {
 }
 
 SkewedScenarioResult run_arm(SkewedScenarioKind kind, double loss, double weight,
-                             bool reservations) {
+                             bool reservations, int fleet_workers) {
   SkewedScenarioConfig cfg;
   cfg.kind = kind;
   cfg.loss_prob = loss;
   cfg.utilization_weight = weight;
   cfg.reservations = reservations;
+  cfg.workers = fleet_workers;
   SkewedFleetScenario scenario(cfg);
   return scenario.run();
 }
@@ -116,8 +120,26 @@ void emit_json(const std::vector<SweepPoint>& points, const std::string& path) {
 int main(int argc, char** argv) {
   bench::quiet_logs();
   std::string json_path = "bench-ext9_fleet_sweep.json";
+  // --workers N: sweep-level parallelism — the 24 scenario arms (12
+  // points x packet/reserved) are independent simulations, so a pool
+  // of N threads runs them concurrently and the table/JSON are
+  // assembled serially afterwards in the fixed sweep order: output is
+  // byte-identical for every N. --fleet-workers N: intra-run
+  // parallelism — each arm's FleetRuntime drives its racks through
+  // the conservative-PDES engine; also byte-identical by construction
+  // (the CI determinism gate diffs it against the serial oracle).
+  int sweep_workers = 1;
+  int fleet_workers = 1;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--workers") == 0) sweep_workers = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--fleet-workers") == 0) {
+      fleet_workers = std::atoi(argv[i + 1]);
+    }
+  }
+  if (sweep_workers < 1 || fleet_workers < 1) {
+    std::fprintf(stderr, "ext9: --workers/--fleet-workers must be >= 1\n");
+    return 2;
   }
   bench::print_header(
       "EXT9", "fleet-scope circuit vs. packet regimes (SIGCOMM §2, at fleet scale)",
@@ -131,10 +153,6 @@ int main(int argc, char** argv) {
   const double weights[] = {0.0, 8.0};
 
   std::vector<SweepPoint> points;
-  telemetry::Table table("ext9 — reservation crossover per sweep point",
-                         {"scenario", "loss", "w_util", "hot off (us)", "hot on (us)",
-                          "hot speedup %", "bg off (us)", "bg on (us)", "bg slowdown %",
-                          "promoted"});
   for (SkewedScenarioKind kind : kinds) {
     for (double loss : losses) {
       for (double weight : weights) {
@@ -142,32 +160,70 @@ int main(int argc, char** argv) {
         p.kind = kind;
         p.loss = loss;
         p.weight = weight;
-        p.packet = run_arm(kind, loss, weight, /*reservations=*/false);
-        p.reserved = run_arm(kind, loss, weight, /*reservations=*/true);
-        char buf[32];
-        table.row().cell(kind_name(kind));
-        std::snprintf(buf, sizeof buf, "%g", loss);
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%g", weight);
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%.1f", p.packet.hot.job_completion.us());
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%.1f", p.reserved.hot.job_completion.us());
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%.1f", p.hot_speedup_pct());
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%.1f", p.packet.background.job_completion.us());
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%.1f", p.reserved.background.job_completion.us());
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%.1f", p.background_slowdown_pct());
-        table.cell(buf);
-        std::snprintf(buf, sizeof buf, "%llu",
-                      static_cast<unsigned long long>(p.reserved.promotions));
-        table.cell(buf);
-        points.push_back(std::move(p));
+        points.push_back(p);
       }
     }
+  }
+
+  // Run every arm, possibly on a pool. Results land in slots indexed
+  // by (point, arm), so completion order never touches output order.
+  struct Arm {
+    std::size_t point;
+    bool reservations;
+  };
+  std::vector<Arm> arms;
+  arms.reserve(points.size() * 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    arms.push_back({i, false});
+    arms.push_back({i, true});
+  }
+  std::atomic<std::size_t> next{0};
+  auto pump = [&] {
+    for (;;) {
+      const std::size_t a = next.fetch_add(1, std::memory_order_relaxed);
+      if (a >= arms.size()) return;
+      SweepPoint& p = points[arms[a].point];
+      SkewedScenarioResult r =
+          run_arm(p.kind, p.loss, p.weight, arms[a].reservations, fleet_workers);
+      (arms[a].reservations ? p.reserved : p.packet) = r;
+    }
+  };
+  if (sweep_workers == 1) {
+    pump();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(sweep_workers) - 1);
+    for (int t = 1; t < sweep_workers; ++t) pool.emplace_back(pump);
+    pump();
+    for (std::thread& t : pool) t.join();
+  }
+
+  telemetry::Table table("ext9 — reservation crossover per sweep point",
+                         {"scenario", "loss", "w_util", "hot off (us)", "hot on (us)",
+                          "hot speedup %", "bg off (us)", "bg on (us)", "bg slowdown %",
+                          "promoted"});
+  for (SweepPoint& p : points) {
+    char buf[32];
+    table.row().cell(kind_name(p.kind));
+    std::snprintf(buf, sizeof buf, "%g", p.loss);
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%g", p.weight);
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f", p.packet.hot.job_completion.us());
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f", p.reserved.hot.job_completion.us());
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f", p.hot_speedup_pct());
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f", p.packet.background.job_completion.us());
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f", p.reserved.background.job_completion.us());
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f", p.background_slowdown_pct());
+    table.cell(buf);
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(p.reserved.promotions));
+    table.cell(buf);
   }
   table.print();
   emit_json(points, json_path);

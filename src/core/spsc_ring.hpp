@@ -1,0 +1,80 @@
+// rsf::core — a bounded single-producer / single-consumer ring.
+//
+// SpscRing<T> is the cross-thread mailbox of the conservative-PDES
+// fleet engine (runtime::ParallelFleetEngine): a shard worker pushes
+// deferred cross-shard continuations at one end, the merge thread pops
+// them at the other. The classic two-index scheme needs no locks: the
+// producer owns head_, the consumer owns tail_, and each publishes its
+// index with a release store the other side reads with an acquire
+// load, so the payload write happens-before the matching pop.
+//
+// The producer *role* may be handed between threads (a shard's worker
+// during a drain window, the merge thread while it injects), as long
+// as the handoff itself synchronizes (the engine's window-done
+// release/acquire edge provides that) — what the ring forbids is two
+// concurrent pushers, not two pushers over its lifetime.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// push() on a full ring returns false: the engine sizes mailboxes to
+// its window depth and treats overflow as a deterministic logic error,
+// never a silent drop or an unbounded allocation on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rsf::core {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity = 1024) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when full (the consumer is behind by a whole
+  /// capacity); the element is untouched in that case.
+  [[nodiscard]] bool push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  [[nodiscard]] bool pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side size estimate (exact when the producer is quiet).
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Padded apart so the producer's and consumer's indices never share
+  // a cache line (false sharing would serialize the two sides).
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace rsf::core

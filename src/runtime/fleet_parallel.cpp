@@ -1,0 +1,214 @@
+#include "runtime/fleet_parallel.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rsf::runtime {
+
+using rsf::sim::ParallelMergePeer;
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+
+ParallelFleetEngine::ParallelFleetEngine(Simulator* fleet_ring,
+                                         std::vector<Simulator*> shard_rings,
+                                         int workers)
+    : fleet_(fleet_ring), shards_(std::move(shard_rings)), workers_(workers) {
+  if (fleet_ == nullptr) {
+    throw std::invalid_argument("ParallelFleetEngine: null fleet ring");
+  }
+  if (workers_ < 2) {
+    throw std::invalid_argument(
+        "ParallelFleetEngine: workers < 2 (the 1-worker path is FleetRuntime "
+        "itself)");
+  }
+  mail_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i] == nullptr) {
+      throw std::invalid_argument("ParallelFleetEngine: null shard ring");
+    }
+    mail_.push_back(std::make_unique<Mailbox>());
+  }
+  threads_.reserve(static_cast<std::size_t>(workers_) - 1);
+  for (int id = 1; id < workers_; ++id) {
+    threads_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+ParallelFleetEngine::~ParallelFleetEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_worker_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelFleetEngine::emit(std::uint32_t shard, std::function<void()> fn) {
+  Mailbox& mb = *mail_[shard];
+  if (!mb.ring.push(Emission{shards_[shard]->now(), std::move(fn)})) {
+    throw std::runtime_error(
+        "ParallelFleetEngine: mailbox overflow on shard " +
+        std::to_string(shard) +
+        " (windows stop at the first emission; this is a logic error, not "
+        "load)");
+  }
+  mb.emitted.store(true, std::memory_order_relaxed);
+}
+
+std::size_t ParallelFleetEngine::total_strong() const {
+  std::size_t n = ParallelMergePeer::strong_pending(*fleet_);
+  for (const Simulator* s : shards_) n += ParallelMergePeer::strong_pending(*s);
+  return n;
+}
+
+void ParallelFleetEngine::advance_all_clocks(SimTime t) {
+  ParallelMergePeer::advance_clock(*fleet_, t);
+  for (Simulator* s : shards_) ParallelMergePeer::advance_clock(*s, t);
+}
+
+void ParallelFleetEngine::drain_mail() {
+  // Continuations run in push order — exactly where the oracle's inline
+  // callback ran, right after the emitting event. Each emission's time
+  // is <= every ring's pending minimum (the window bound guaranteed
+  // it), so hoisting every clock to it cannot rewind or overtake.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::unique_ptr<Mailbox>& mb : mail_) {
+      Emission e;
+      while (mb->ring.pop(e)) {
+        any = true;
+        ++cross_shard_events_;
+        advance_all_clocks(e.time);
+        e.fn();
+      }
+    }
+  }
+}
+
+std::size_t ParallelFleetEngine::drain_window(const Window& w) {
+  Simulator& s = *shards_[w.shard];
+  Mailbox& mb = *mail_[w.shard];
+  mb.emitted.store(false, std::memory_order_relaxed);
+  std::size_t n = 0;
+  for (;;) {
+    // The oracle stops an unbounded run when only weak events remain
+    // fleet-wide; frozen (everything outside this shard, quiescent for
+    // the whole window) + local replays that check exactly.
+    if (w.frozen_strong != SIZE_MAX &&
+        w.frozen_strong + ParallelMergePeer::strong_pending(s) == 0) {
+      break;
+    }
+    const SimTime t = s.next_time();
+    if (t >= w.bound || t > w.until) break;
+    n += s.run_events(1);
+    if (mb.emitted.load(std::memory_order_relaxed)) break;
+  }
+  return n;
+}
+
+void ParallelFleetEngine::worker_main(int id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_worker_.wait(lk, [&] {
+      return stop_ || (job_pending_ && owner_of(job_.shard) == id);
+    });
+    if (stop_) return;
+    job_pending_ = false;
+    const Window w = job_;
+    lk.unlock();
+    std::size_t n = 0;
+    std::exception_ptr err;
+    try {
+      n = drain_window(w);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    job_events_ = n;
+    job_error_ = err;
+    job_done_ = true;
+    cv_main_.notify_one();
+  }
+}
+
+std::size_t ParallelFleetEngine::run_until(SimTime until) {
+  const bool unbounded = until == SimTime::infinity();
+  const int kFleetRing = -1;
+  std::size_t count = 0;
+  for (;;) {
+    drain_mail();
+    const std::size_t strong_total = total_strong();
+    if (unbounded && strong_total == 0) break;
+    // Frontier scan: the lexicographically earliest (time, seq) key
+    // across every ring, plus the tightest *time* bound any other
+    // ring imposes on the winner. The rings share one sequence
+    // counter, so the key order IS the oracle's schedule order —
+    // cross-ring same-instant ties (spine FIFO booking, RNG draw
+    // order) resolve exactly as the single clock would.
+    Simulator::PendingKey best = fleet_->next_key();
+    int who = kFleetRing;
+    SimTime bound = SimTime::infinity();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Simulator::PendingKey k = shards_[i]->next_key();
+      if (k < best) {
+        // The dethroned minimum is <= every previously seen time, so
+        // it is the new bound.
+        bound = best.time;
+        best = k;
+        who = static_cast<int>(i);
+      } else if (k.time < bound) {
+        bound = k.time;
+      }
+    }
+    if (best.time == SimTime::infinity() || best.time > until) break;
+    advance_all_clocks(best.time);
+    if (who == kFleetRing) {
+      // Fleet-layer events (spine hops, controller epochs, retries,
+      // flow starts) always run serially on the merge thread; they may
+      // touch any shard's state (scheduling into shard rings is safe:
+      // everyone else is parked).
+      count += fleet_->run_events(1);
+      continue;
+    }
+    if (bound <= best.time) {
+      // Frontier tie across rings: no conservative window exists, so
+      // the key winner single-steps inline and the merge re-evaluates.
+      count += shards_[static_cast<std::size_t>(who)]->run_events(1);
+      continue;
+    }
+    ++sync_windows_;
+    Window w;
+    w.shard = static_cast<std::uint32_t>(who);
+    w.bound = bound;
+    w.until = until;
+    w.frozen_strong =
+        unbounded ? strong_total - ParallelMergePeer::strong_pending(
+                                       *shards_[static_cast<std::size_t>(who)])
+                  : SIZE_MAX;
+    const int owner = owner_of(w.shard);
+    if (owner == 0) {
+      count += drain_window(w);
+    } else {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_ = w;
+      job_pending_ = true;
+      job_done_ = false;
+      cv_worker_.notify_all();
+      cv_main_.wait(lk, [&] { return job_done_; });
+      if (job_error_) {
+        std::exception_ptr err = job_error_;
+        job_error_ = nullptr;
+        std::rethrow_exception(err);
+      }
+      count += job_events_;
+    }
+  }
+  drain_mail();
+  // Oracle tail: a bounded run that drained every strong event parks
+  // the clock at the horizon.
+  if (!unbounded && total_strong() == 0) advance_all_clocks(until);
+  return count;
+}
+
+}  // namespace rsf::runtime

@@ -1,0 +1,165 @@
+// rsf::runtime — the conservative-PDES merge engine behind
+// FleetConfig::workers > 1.
+//
+// Ownership model (see docs/ARCHITECTURE.md, "The parallel kernel"):
+// every rack shard owns a private calendar ring (its FabricRuntime is
+// built on its own sim::Simulator — own slab, own SlotPool liveness,
+// shared EventRecord format), the fleet layer (spine, controller,
+// packet pump, flow bookkeeping) keeps the FleetRuntime's ring, and
+// this engine replays the oracle's single-clock total order as a
+// cross-ring merge:
+//
+//  - **Frontier merge.** Each round the engine peeks every ring's
+//    next_key() — its earliest (time, insertion-seq) pair — and
+//    executes the lexicographic minimum. The rings share one sequence
+//    counter (ParallelMergePeer::share_sequence), so the keys are the
+//    oracle's own schedule keys and the merged order is the oracle's
+//    total order — independent of the worker count and of wall-clock
+//    interleaving, including cross-ring same-instant ties.
+//  - **Conservative windows.** When one shard's frontier is strictly
+//    earliest, that shard may drain ahead of everyone, bounded by the
+//    minimum over every *other* ring's next_time(): nothing outside
+//    the shard can inject work below that bound (all cross-shard
+//    influence flows through the fleet ring or through a deferred
+//    continuation, and both carry times at or above it). The window
+//    runs on the shard's owner worker thread — the shard→worker map
+//    is shard index modulo workers, owner 0 being the merge thread.
+//  - **Mailboxes.** Rack-network callbacks (probe deliveries, leg
+//    completions) are the fleet layer's only re-entry points from
+//    shard events. FleetRuntime defers each one into the shard's
+//    core::SpscRing mailbox; the window stops at the first emission
+//    and the merge thread runs the continuation immediately after —
+//    the same "right after the emitting event, before any other
+//    event" position the oracle's inline callback had (the rack
+//    network invokes callbacks in tail position).
+//  - **Clock coherence.** Before executing anything at frontier t the
+//    engine advances every ring's clock to t (sound: t <= every
+//    ring's next_time()), so fleet code reading sim().now() or
+//    booking spine FIFO slots sees exactly the oracle's clock.
+//
+// The lookahead story is deliberately honest: the spine's
+// serialization+propagation latency (Interconnect::min_lookahead())
+// bounds gateway-to-gateway influence, but the fleet's *window pump*
+// (a delivery at the destination rack refills the flow's window from
+// the source rack at the same instant) is a zero-lag edge that no
+// spine-latency horizon covers. The conservative bound above is
+// therefore the neighbor frontier, not frontier+lookahead — windows
+// widen when rack frontiers spread (store-and-forward legs, skewed
+// racks) and collapse to single steps under tight pump coupling.
+// FleetRuntime still refuses workers > 1 on a zero-lookahead fabric
+// (a zero-latency spine link), where even gateway influence would be
+// same-instant and the horizon degenerates everywhere.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/spsc_ring.hpp"
+#include "sim/simulator.hpp"
+
+namespace rsf::runtime {
+
+class ParallelFleetEngine {
+ public:
+  /// `fleet_ring` is the FleetRuntime's own simulator (spine,
+  /// controller, retries, flow starts); `shard_rings[i]` is rack i's
+  /// private simulator. `workers` >= 2 spawns workers-1 helper
+  /// threads (owner 0 is the calling merge thread).
+  ParallelFleetEngine(rsf::sim::Simulator* fleet_ring,
+                      std::vector<rsf::sim::Simulator*> shard_rings, int workers);
+  ~ParallelFleetEngine();
+
+  ParallelFleetEngine(const ParallelFleetEngine&) = delete;
+  ParallelFleetEngine& operator=(const ParallelFleetEngine&) = delete;
+
+  /// Defer a fleet-layer continuation out of a shard event. Called on
+  /// whichever thread is draining `shard` (its worker during a
+  /// window, the merge thread during a single step); the continuation
+  /// runs on the merge thread at the shard clock's current instant,
+  /// immediately after the emitting event. Throws on mailbox overflow
+  /// (a deterministic logic error, never a silent drop).
+  void emit(std::uint32_t shard, std::function<void()> fn);
+
+  /// Drain the merged fleet in oracle order until `until` (inclusive,
+  /// like Simulator::run_until); with no horizon, until only weak
+  /// events remain anywhere. Returns events executed (continuations
+  /// are part of their emitting event, as in the oracle). Merge-thread
+  /// only; not re-entrant.
+  std::size_t run_until(rsf::sim::SimTime until);
+
+  /// Conservative windows opened on shard rings so far (documented in
+  /// docs/METRICS.md as the fleet.sync_windows gauge; an accessor, not
+  /// a registry row, so N-worker metrics tables stay byte-identical
+  /// to the 1-worker oracle's).
+  [[nodiscard]] std::uint64_t sync_windows() const { return sync_windows_; }
+  /// Continuations exchanged through the shard mailboxes (the
+  /// fleet.cross_shard_events gauge in docs/METRICS.md).
+  [[nodiscard]] std::uint64_t cross_shard_events() const { return cross_shard_events_; }
+
+ private:
+  struct Emission {
+    rsf::sim::SimTime time = rsf::sim::SimTime::zero();
+    std::function<void()> fn;
+  };
+  /// One per shard. The atomic flag is written by the thread draining
+  /// the shard and read back by the same thread (window stop); the
+  /// mutex handing a window back to the merge thread orders the ring
+  /// contents themselves.
+  struct Mailbox {
+    core::SpscRing<Emission> ring{4096};
+    std::atomic<bool> emitted{false};
+  };
+  struct Window {
+    std::uint32_t shard = 0;
+    rsf::sim::SimTime bound = rsf::sim::SimTime::zero();  // exclusive
+    rsf::sim::SimTime until = rsf::sim::SimTime::zero();  // inclusive
+    /// Strong events pending outside the shard at window start; the
+    /// worker replays the oracle's "stop when only weak events
+    /// remain" rule as frozen + local == 0. SIZE_MAX on bounded runs
+    /// (which never stop early).
+    std::size_t frozen_strong = 0;
+  };
+
+  [[nodiscard]] int owner_of(std::uint32_t shard) const {
+    return static_cast<int>(shard % static_cast<std::uint32_t>(workers_));
+  }
+  [[nodiscard]] std::size_t total_strong() const;
+  void advance_all_clocks(rsf::sim::SimTime t);
+  /// Execute pending mailbox continuations (merge thread).
+  void drain_mail();
+  /// Drain one conservative window; runs on the shard's owner thread.
+  std::size_t drain_window(const Window& w);
+  void worker_main(int id);
+
+  rsf::sim::Simulator* fleet_;
+  std::vector<rsf::sim::Simulator*> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mail_;
+  int workers_;
+
+  std::uint64_t sync_windows_ = 0;
+  std::uint64_t cross_shard_events_ = 0;
+
+  // Window handoff: at most one window is in flight at a time (the
+  // conservative bound admits a single runnable shard per round), so
+  // one job slot + two condvars carry the whole protocol.
+  std::mutex mu_;
+  std::condition_variable cv_worker_;
+  std::condition_variable cv_main_;
+  Window job_;
+  bool job_pending_ = false;
+  bool job_done_ = true;
+  std::size_t job_events_ = 0;
+  std::exception_ptr job_error_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rsf::runtime

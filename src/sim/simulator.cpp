@@ -247,6 +247,50 @@ __attribute__((flatten)) std::size_t Simulator::run_events(std::size_t max_event
   return count;
 }
 
+Simulator::PendingKey Simulator::next_key() const {
+  PendingKey best = PendingKey::infinite();
+  // An in-flight batch resumes first: any live remainder runs at
+  // batch_time_, which is <= every still-queued time, and the batch is
+  // seq-sorted, so the first live record from the cursor is minimal.
+  for (std::size_t c = batch_cursor_; c < batch_.size(); ++c) {
+    const EventRecord& rec = records_[batch_[c]];
+    if (slots_.is_live(rec.slot, rec.generation)) return {batch_time_, rec.seq};
+  }
+  // Ring scan, earliest occupied bucket first. Buckets partition the
+  // window by time, so the first bucket holding a live record contains
+  // the ring minimum (and every record at that time — one time maps to
+  // one bucket — so the min seq is found in the same walk). Tombstone-
+  // only buckets are skipped, not swept — this is a const peek;
+  // next_batch() reclaims them.
+  if (ring_count_ != 0) {
+    for (std::size_t word = scan_word_; word < occupied_.size(); ++word) {
+      std::uint64_t bits = occupied_[word];
+      while (bits != 0) {
+        const auto b = (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        for (std::uint32_t index = heads_[b]; index != kNilIndex;
+             index = record_next_[index]) {
+          const EventRecord& rec = records_[index];
+          if (slots_.is_live(rec.slot, rec.generation) &&
+              PendingKey{rec.time, rec.seq} < best) {
+            best = {rec.time, rec.seq};
+          }
+        }
+        if (best.time != SimTime::infinity()) return best;
+      }
+    }
+  }
+  // Overflow only matters when the ring has no live record: overflow
+  // times sit beyond the window, hence beyond every ring time.
+  for (const EventRecord& rec : overflow_) {
+    if (slots_.is_live(rec.slot, rec.generation) &&
+        PendingKey{rec.time, rec.seq} < best) {
+      best = {rec.time, rec.seq};
+    }
+  }
+  return best;
+}
+
 void Simulator::fast_forward_to(SimTime when) {
   if (strong_count_ != 0 || weak_count_ != 0) {
     throw std::logic_error("Simulator::fast_forward_to: events pending");

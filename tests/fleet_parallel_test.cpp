@@ -1,0 +1,354 @@
+// Conservative-PDES fleet drive (FleetConfig::workers > 1). The
+// contract under test: the N-worker merge replays the 1-worker
+// oracle's (time, insertion-seq) schedule byte for byte — same
+// metrics tables, same results, for every seed and scenario — while
+// genuinely executing shard windows on worker threads (the TSan CI
+// leg runs this binary to prove the handoff is clean). Plus the
+// engine's refusal paths: zero spine lookahead and bad worker counts
+// fail fast with clear errors, never a deadlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spsc_ring.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/fleet_parallel.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/simulator.hpp"
+#include "workload/crossrack.hpp"
+
+namespace rsf {
+namespace {
+
+using phy::DataSize;
+using rsf::sim::ParallelMergePeer;
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+using runtime::FleetConfig;
+using runtime::FleetRuntime;
+using runtime::ParallelFleetEngine;
+using runtime::RackShape;
+using runtime::RackSpec;
+using runtime::RuntimeConfig;
+using runtime::SpineSpec;
+using namespace rsf::sim::literals;
+
+// --- core::SpscRing -------------------------------------------------
+
+TEST(SpscRing, FifoOrderAndFullRefusal) {
+  core::SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_FALSE(ring.push(99));  // full: refused, not overwritten
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  core::SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, CrossThreadHandoffPreservesOrder) {
+  core::SpscRing<int> ring(256);
+  constexpr int kItems = 100000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems;) {
+      if (ring.push(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    int out;
+    if (ring.pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- refusal paths --------------------------------------------------
+
+FleetConfig two_rack_fleet(SimTime spine_latency) {
+  RuntimeConfig rack;
+  rack.shape = RackShape::kGrid;
+  rack.rack.width = 3;
+  rack.rack.height = 3;
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{rack, 0});
+  fc.racks.push_back(RackSpec{rack, 0});
+  SpineSpec s;
+  s.rack_a = 0;
+  s.rack_b = 1;
+  s.latency = spine_latency;
+  fc.spine.push_back(s);
+  return fc;
+}
+
+TEST(ParallelFleet, RejectsNonPositiveWorkerCount) {
+  FleetConfig fc = two_rack_fleet(2_us);
+  fc.workers = 0;
+  EXPECT_THROW(FleetRuntime{fc}, std::invalid_argument);
+}
+
+TEST(ParallelFleet, ZeroLookaheadIsRefusedNotDeadlocked) {
+  // A zero-latency spine link means same-instant cross-rack coupling:
+  // no conservative horizon exists. The constructor must say so
+  // clearly — the failure mode being prevented is a lookahead
+  // deadlock (or a silent serialization) deep into a run.
+  FleetConfig fc = two_rack_fleet(SimTime::zero());
+  fc.workers = 2;
+  try {
+    FleetRuntime fleet(fc);
+    FAIL() << "workers > 1 with zero spine lookahead must be refused";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lookahead"), std::string::npos);
+  }
+  // The same fabric is fine on the serial oracle.
+  fc.workers = 1;
+  EXPECT_NO_THROW(FleetRuntime{fc});
+}
+
+TEST(ParallelFleet, SpinelessFleetHasInfiniteLookahead) {
+  // No spine links: racks can never interact, the conservative bound
+  // is vacuous, and workers > 1 is legal.
+  RuntimeConfig rack;
+  rack.shape = RackShape::kGrid;
+  rack.rack.width = 3;
+  rack.rack.height = 3;
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{rack, 0});
+  fc.racks.push_back(RackSpec{rack, 0});
+  fc.workers = 2;
+  EXPECT_NO_THROW(FleetRuntime{fc});
+}
+
+// --- engine order semantics ----------------------------------------
+
+/// Two shard rings + a fleet ring with a shared sequence counter —
+/// the exact setup FleetRuntime builds — driven directly so the test
+/// can pin the merged execution order event by event.
+struct EngineHarness {
+  Simulator fleet;
+  Simulator s0;
+  Simulator s1;
+  std::vector<std::string> order;
+  EngineHarness() {
+    ParallelMergePeer::share_sequence(s0, fleet);
+    ParallelMergePeer::share_sequence(s1, fleet);
+  }
+  auto tag(const char* name) {
+    return [this, name] { order.push_back(name); };
+  }
+};
+
+TEST(ParallelFleet, WindowEdgeEventOrdersBySharedSequence) {
+  // Shard 0's window is bounded by shard 1's pending event at 30 us.
+  // During the window, shard 0 schedules a NEW event at exactly that
+  // horizon. The oracle rule: same instant resolves by insertion
+  // sequence, so shard 1's (earlier-scheduled) event runs first even
+  // though shard 0 was mid-window when the tie appeared.
+  EngineHarness h;
+  h.s1.schedule_at(30_us, h.tag("s1@30"));
+  h.s0.schedule_at(10_us, [&h] {
+    h.order.push_back("s0@10");
+    h.s0.schedule_at(30_us, h.tag("s0@30"));
+  });
+  ParallelFleetEngine engine(&h.fleet, {&h.s0, &h.s1}, 2);
+  engine.run_until(SimTime::infinity());
+  EXPECT_EQ(h.order,
+            (std::vector<std::string>{"s0@10", "s1@30", "s0@30"}));
+  EXPECT_EQ(h.s0.now(), 30_us);
+  EXPECT_EQ(h.s1.now(), 30_us);
+}
+
+TEST(ParallelFleet, FleetRingWinsSameInstantWhenScheduledFirst) {
+  // Three rings tie at 20 us; insertion order (fleet, s1, s0) must be
+  // the execution order — not ring index, not worker layout.
+  EngineHarness h;
+  h.fleet.schedule_at(20_us, h.tag("fleet@20"));
+  h.s1.schedule_at(20_us, h.tag("s1@20"));
+  h.s0.schedule_at(20_us, h.tag("s0@20"));
+  ParallelFleetEngine engine(&h.fleet, {&h.s0, &h.s1}, 2);
+  engine.run_until(SimTime::infinity());
+  EXPECT_EQ(h.order,
+            (std::vector<std::string>{"fleet@20", "s1@20", "s0@20"}));
+}
+
+TEST(ParallelFleet, EmissionRunsImmediatelyAfterEmittingEvent) {
+  // A continuation emitted from a shard event must run right after
+  // that event — before any other pending event anywhere — exactly
+  // where the oracle's inline callback sat. Shard 1 holds a pending
+  // event at the same instant to tempt the merge to run it first.
+  EngineHarness h;
+  ParallelFleetEngine* eng = nullptr;
+  h.s1.schedule_at(10_us, h.tag("s1@10"));
+  h.s0.schedule_at(5_us, [&] {
+    h.order.push_back("s0@5");
+    eng->emit(0, [&h] { h.order.push_back("continuation"); });
+    h.s0.schedule_at(10_us, h.tag("s0@10"));
+  });
+  ParallelFleetEngine engine(&h.fleet, {&h.s0, &h.s1}, 2);
+  eng = &engine;
+  engine.run_until(SimTime::infinity());
+  EXPECT_EQ(h.order, (std::vector<std::string>{"s0@5", "continuation",
+                                               "s1@10", "s0@10"}));
+  EXPECT_EQ(engine.cross_shard_events(), 1u);
+}
+
+TEST(ParallelFleet, WindowsRunOnWorkerThreads) {
+  // Shard 1 (owner: helper thread 1 of 2 workers) holds a strictly
+  // earliest burst; its window must execute off the merge thread —
+  // the cross-thread handoff is real, not a fallback to serial.
+  EngineHarness h;
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::vector<std::thread::id> burst_threads;
+  for (int i = 0; i < 3; ++i) {
+    h.s1.schedule_at(10_us + SimTime::microseconds(i), [&burst_threads] {
+      burst_threads.push_back(std::this_thread::get_id());
+    });
+  }
+  h.s0.schedule_at(50_us, h.tag("s0@50"));
+  ParallelFleetEngine engine(&h.fleet, {&h.s0, &h.s1}, 2);
+  engine.run_until(SimTime::infinity());
+  ASSERT_EQ(burst_threads.size(), 3u);
+  for (const std::thread::id id : burst_threads) EXPECT_NE(id, main_id);
+  EXPECT_GE(engine.sync_windows(), 1u);
+}
+
+TEST(ParallelFleet, BoundedRunParksEveryClockAtHorizon) {
+  EngineHarness h;
+  h.s0.schedule_at(10_us, h.tag("s0@10"));
+  ParallelFleetEngine engine(&h.fleet, {&h.s0, &h.s1}, 2);
+  engine.run_until(100_us);
+  // The oracle's bounded run_until leaves now() == until once the
+  // strong events are drained; every ring must agree.
+  EXPECT_EQ(h.fleet.now(), 100_us);
+  EXPECT_EQ(h.s0.now(), 100_us);
+  EXPECT_EQ(h.s1.now(), 100_us);
+}
+
+// --- N-vs-1 byte equality ------------------------------------------
+
+struct FleetRunOutput {
+  std::string table;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t sync_windows = 0;
+  std::uint64_t cross_shard_events = 0;
+};
+
+/// A lossy three-rack fleet under a shuffle + incast, rendered to its
+/// full merged metrics table — the same artifact the CI determinism
+/// gate diffs on the quickstart and ext9 binaries.
+FleetRunOutput run_mixed_fleet(int workers) {
+  RuntimeConfig small;
+  small.shape = RackShape::kGrid;
+  small.rack.width = 3;
+  small.rack.height = 3;
+  FleetConfig fc;
+  for (int i = 0; i < 3; ++i) fc.racks.push_back(RackSpec{small, 0});
+  for (int i = 0; i < 2; ++i) {
+    SpineSpec s;
+    s.rack_a = static_cast<std::uint32_t>(i);
+    s.rack_b = static_cast<std::uint32_t>(i + 1);
+    s.latency = 2_us;
+    s.loss_prob = 0.01;  // exercises the spine RNG draw order
+    fc.spine.push_back(s);
+  }
+  fc.seed = 7;
+  fc.workers = workers;
+  FleetRuntime fleet(fc);
+
+  workload::CrossRackShuffleConfig shuffle;
+  for (int x = 0; x < 3; ++x) shuffle.mappers.push_back(fleet.at(0, x, 2));
+  for (phy::NodeId n = 1; n <= 3; ++n) shuffle.reducers.push_back({2, n});
+  shuffle.bytes_per_pair = DataSize::kilobytes(32);
+  fleet.add_shuffle(shuffle).run([](const workload::CrossRackResult&) {});
+
+  workload::CrossRackIncastConfig incast;
+  for (int x = 0; x < 3; ++x) incast.sources.push_back(fleet.at(1, x, 0));
+  incast.sink = fleet.at(0, 1, 1);
+  incast.bytes_per_source = DataSize::kilobytes(16);
+  incast.start = 40_us;
+  fleet.add_incast(incast).run([](const workload::CrossRackResult&) {});
+
+  fleet.start();
+  fleet.run_until();
+  fleet.stop();
+  fleet.run_until();
+
+  FleetRunOutput out;
+  out.table = fleet.metrics_table().to_string();
+  out.completed = fleet.flows_completed();
+  out.failed = fleet.flows_failed();
+  out.sync_windows = fleet.sync_windows();
+  out.cross_shard_events = fleet.cross_shard_events();
+  return out;
+}
+
+TEST(ParallelFleet, MixedWorkloadMetricsTableByteIdenticalAcrossWorkers) {
+  const FleetRunOutput oracle = run_mixed_fleet(1);
+  ASSERT_GT(oracle.completed, 0u);
+  EXPECT_EQ(oracle.sync_windows, 0u);  // serial drive: engine absent
+  for (const int workers : {2, 4}) {
+    const FleetRunOutput par = run_mixed_fleet(workers);
+    EXPECT_EQ(par.table, oracle.table) << "workers=" << workers;
+    EXPECT_EQ(par.completed, oracle.completed);
+    EXPECT_EQ(par.failed, oracle.failed);
+    // The equivalence must be earned: the parallel run really opened
+    // conservative windows and exchanged mailbox continuations.
+    EXPECT_GT(par.sync_windows, 0u) << "workers=" << workers;
+    EXPECT_GT(par.cross_shard_events, 0u) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelFleet, SkewedScenariosByteIdenticalAcrossWorkers) {
+  // The ext9 sweep's three scenarios — different topologies, rack
+  // mixes, and controller policies — each checked lossless and lossy.
+  using workload::SkewedFleetScenario;
+  using workload::SkewedScenarioConfig;
+  using workload::SkewedScenarioKind;
+  using workload::SkewedScenarioResult;
+  const SkewedScenarioKind kinds[] = {SkewedScenarioKind::kHotRackIncast,
+                                      SkewedScenarioKind::kSlowSpineLeg,
+                                      SkewedScenarioKind::kMixedRackSizes};
+  for (const SkewedScenarioKind kind : kinds) {
+    for (const double loss : {0.0, 0.005}) {
+      auto run = [&](int workers) {
+        SkewedScenarioConfig cfg;
+        cfg.kind = kind;
+        cfg.loss_prob = loss;
+        cfg.reservations = true;
+        cfg.workers = workers;
+        SkewedFleetScenario scenario(cfg);
+        const SkewedScenarioResult r = scenario.run();
+        return std::pair<SkewedScenarioResult, std::string>(
+            r, scenario.fleet().metrics_table().to_string());
+      };
+      const auto oracle = run(1);
+      const auto par = run(4);
+      EXPECT_EQ(par.second, oracle.second)
+          << "kind=" << static_cast<int>(kind) << " loss=" << loss;
+      EXPECT_EQ(par.first.hot.job_completion, oracle.first.hot.job_completion);
+      EXPECT_EQ(par.first.background.job_completion,
+                oracle.first.background.job_completion);
+      EXPECT_EQ(par.first.hot.retransmits, oracle.first.hot.retransmits);
+      EXPECT_EQ(par.first.promotions, oracle.first.promotions);
+      EXPECT_EQ(par.first.reserved_bytes, oracle.first.reserved_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsf

@@ -13,24 +13,30 @@
 # job_us values are simulated results, not speeds — any PR that moves
 # them changed behaviour, not performance.
 #
+# Since PR 7 the snapshot also records the ext9 sweep's wall time at
+# --workers 1 vs --workers 4 (the arm-pool parallel sweep) plus the
+# host's core count: a wall-time claim without the core count it was
+# measured on is not reproducible.
+#
 # Usage:
 #   tools/bench_record.sh [--pr N] [--build-dir DIR] [--reps N]
 #                         [--baseline /path/to/old/micro_kernel]
 #                         [--out FILE] [--smoke]
 #
-#   --pr N        trajectory index; default 6 (writes BENCH_PR<N>.json)
+#   --pr N        trajectory index; default 7 (writes BENCH_PR<N>.json)
 #   --baseline    also interleave an old micro_kernel binary and record
 #                 median-vs-median speedups (local use; CI has no
 #                 pre-change binary)
-#   --smoke       CI mode: validate the schema of the committed
-#                 BENCH_PR<N>.json, then take a quick fresh recording
-#                 (3 reps, short min_time) to bench-trajectory-fresh.json
-#                 for the artifact upload. Absolute numbers are NOT
-#                 gated — shared runners are noisy.
+#   --smoke       CI mode: validate the schema of the NEWEST committed
+#                 BENCH_PR<N>.json (highest N present, whatever --pr
+#                 says), then take a quick fresh recording (3 reps,
+#                 short min_time) to bench-trajectory-fresh.json for
+#                 the artifact upload. Absolute numbers are NOT gated —
+#                 shared runners are noisy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=6
+PR=7
 BUILD_DIR=build
 REPS=7
 MIN_TIME=0.2
@@ -55,6 +61,13 @@ if [ "$SMOKE" = 1 ]; then
   REPS=3
   MIN_TIME=0.05
   OUT="${OUT:-bench-trajectory-fresh.json}"
+  # Smoke validates the newest committed snapshot, not a hard-coded
+  # index — otherwise every trajectory PR would have to edit this
+  # script just to keep CI honest about its own file.
+  NEWEST=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1 || true)
+  if [ -n "$NEWEST" ]; then
+    COMMITTED="$NEWEST"
+  fi
 else
   OUT="${OUT:-$COMMITTED}"
 fi
@@ -107,6 +120,15 @@ for point in ext9:
                 "reserved_hot_job_us", "reserved_background_job_us"):
         if key not in point:
             die(f"ext9 point missing {key!r}")
+if isinstance(doc.get("pr"), int) and doc["pr"] >= 7:
+    par = doc.get("parallel")
+    if not isinstance(par, dict):
+        die("pr >= 7 snapshots must carry a 'parallel' block")
+    for key in ("host_cores", "ext9_wall_ms_workers1", "ext9_wall_ms_workers4",
+                "ext9_speedup_4w"):
+        v = par.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            die(f"parallel[{key!r}] must be a positive number")
 print(f"schema OK: {path}")
 PY
 }
@@ -144,10 +166,26 @@ done
         > "$TMP/ext8_full.json" 2>/dev/null
 "$EXT9" --json "$TMP/ext9.json" >/dev/null
 
+# --- ext9 wall time, workers=1 vs 4 (arm-pool parallel sweep) ---
+# Alternated reps for the same drift-resistance reason as the
+# throughput interleave; the recorded value is the per-config median.
+WALL_REPS=3
+[ "$SMOKE" = 1 ] && WALL_REPS=1
+: > "$TMP/wall.txt"
+echo "timing ext9 sweep: workers 1 vs 4, $WALL_REPS rep(s) each" >&2
+for rep in $(seq 1 "$WALL_REPS"); do
+  for w in 1 4; do
+    t0=$(date +%s%N)
+    "$EXT9" --workers "$w" --json "$TMP/ext9_wall.json" >/dev/null
+    t1=$(date +%s%N)
+    echo "$w $(( (t1 - t0) / 1000000 ))" >> "$TMP/wall.txt"
+  done
+done
+
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 python3 - "$TMP" "$OUT" "$PR" "$COMMIT" "$REPS" "$MIN_TIME" "$BASELINE" <<'PY'
-import glob, json, statistics, sys
+import glob, json, os, statistics, sys
 
 tmp, out, pr, commit, reps, min_time, baseline = sys.argv[1:8]
 
@@ -193,6 +231,22 @@ with open(f"{tmp}/ext8_full.json") as f:
     ext8 = {b["name"]: b["job_us"] for b in json.load(f)["benchmarks"]
             if "job_us" in b}
 
+wall = {1: [], 4: []}
+with open(f"{tmp}/wall.txt") as f:
+    for line in f:
+        w, ms = line.split()
+        wall[int(w)].append(int(ms))
+wall1 = statistics.median(wall[1])
+wall4 = statistics.median(wall[4])
+parallel = {
+    "host_cores": os.cpu_count(),
+    "ext9_wall_ms_workers1": wall1,
+    "ext9_wall_ms_workers4": wall4,
+    # > 1 only when the host has the cores to back it; commit the
+    # host_cores alongside so the number is interpretable.
+    "ext9_speedup_4w": round(wall1 / wall4, 3),
+}
+
 with open(f"{tmp}/ext9.json") as f:
     ext9 = [{
         "scenario": p["scenario"],
@@ -215,6 +269,7 @@ doc = {
     },
     "throughput": throughput,
     "baseline": baseline_block,
+    "parallel": parallel,
     "semantic": {"ext8_job_us": ext8, "ext9_job_us": ext9},
 }
 with open(out, "w") as f:
