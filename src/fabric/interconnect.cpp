@@ -47,8 +47,11 @@ SpineLinkId Interconnect::add_link(SpineLinkParams params) {
   if (params.cost <= 0) {
     throw std::invalid_argument("Interconnect: non-positive spine cost");
   }
-  if (params.loss_prob < 0 || params.loss_prob >= 1) {
-    throw std::invalid_argument("Interconnect: loss_prob outside [0, 1)");
+  // The closed interval: loss_prob == 1 is a blackhole link — a
+  // legitimate chaos configuration (the retransmit path above it is
+  // bounded by max_retries), not a misconfiguration.
+  if (params.loss_prob < 0 || params.loss_prob > 1) {
+    throw std::invalid_argument("Interconnect: loss_prob outside [0, 1]");
   }
   const auto id = static_cast<SpineLinkId>(links_.size());
   max_rack_ = std::max({max_rack_, params.a.rack, params.b.rack});
@@ -81,6 +84,11 @@ rsf::sim::SimTime Interconnect::min_lookahead() const {
 
 void Interconnect::set_link_up(SpineLinkId id, bool up) {
   static_cast<void>(at(id));  // validate
+  // Idempotent: overlapping shared-risk groups legitimately fail the
+  // same link twice. A repeated set must not double-count the
+  // links_failed/restored transition, invalidate routes, or re-walk
+  // the (already emptied) preemption scan.
+  if (links_[id].up == up) return;
   links_[id].up = up;
   ++version_;
   counters_.add(up ? "spine.links_restored" : "spine.links_failed");
@@ -100,6 +108,53 @@ void Interconnect::set_link_up(SpineLinkId id, bool up) {
 }
 
 bool Interconnect::link_up(SpineLinkId id) const { return at(id).up; }
+
+Interconnect::SrlgId Interconnect::add_shared_risk_group(std::vector<SpineLinkId> links) {
+  if (links.empty()) {
+    throw std::invalid_argument("Interconnect: empty shared-risk group");
+  }
+  for (const SpineLinkId id : links) static_cast<void>(at(id));  // validate
+  const auto gid = static_cast<SrlgId>(srlgs_.size());
+  srlgs_.push_back(SharedRiskGroup{std::move(links), true});
+  return gid;
+}
+
+void Interconnect::set_group_up(SrlgId group, bool up) {
+  if (group >= srlgs_.size()) {
+    throw std::invalid_argument("Interconnect: unknown shared-risk group");
+  }
+  SharedRiskGroup& g = srlgs_[group];
+  if (g.up == up) return;  // idempotent at group granularity
+  g.up = up;
+  counters_.add(up ? "spine.srlg_repairs" : "spine.srlg_cuts");
+  // Members a concurrent cut (another overlapping group, a direct
+  // set_link_up) already moved are absorbed by the per-link
+  // idempotence — the per-link transition counters stay exact.
+  for (const SpineLinkId id : g.links) set_link_up(id, up);
+}
+
+bool Interconnect::group_up(SrlgId group) const {
+  if (group >= srlgs_.size()) {
+    throw std::invalid_argument("Interconnect: unknown shared-risk group");
+  }
+  return srlgs_[group].up;
+}
+
+const std::vector<SpineLinkId>& Interconnect::shared_risk_group(SrlgId group) const {
+  if (group >= srlgs_.size()) {
+    throw std::invalid_argument("Interconnect: unknown shared-risk group");
+  }
+  return srlgs_[group].links;
+}
+
+std::vector<SpineLinkId> Interconnect::rack_attachments(std::uint32_t rack) const {
+  std::vector<SpineLinkId> out;
+  for (SpineLinkId id = 0; id < links_.size(); ++id) {
+    const SpineLinkParams& p = links_[id].params;
+    if (p.a.rack == rack || p.b.rack == rack) out.push_back(id);
+  }
+  return out;
+}
 
 void Interconnect::set_link_cost(SpineLinkId id, double cost) {
   static_cast<void>(at(id));  // validate

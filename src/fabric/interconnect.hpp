@@ -124,8 +124,38 @@ class Interconnect {
 
   /// Administrative state: a down spine link carries nothing and is
   /// invisible to route(). Opens the spine-failure scenario family.
+  /// Idempotent: repeating the current state is a no-op (no counter
+  /// transition, no version bump, no preemption walk) — overlapping
+  /// shared-risk groups cut the same link twice routinely.
   void set_link_up(SpineLinkId id, bool up);
   [[nodiscard]] bool link_up(SpineLinkId id) const;
+
+  // --- shared-risk groups (correlated failure) ---
+
+  using SrlgId = std::uint32_t;
+
+  /// Register a shared-risk link group: links that fail together (a
+  /// conduit, a power domain, a trench). One set_group_up(id, false)
+  /// cuts every member; membership may overlap between groups (link
+  /// administrative state is last-writer-wins, which set_link_up's
+  /// idempotence keeps counter-exact). Links must already exist; a
+  /// group must not be empty.
+  SrlgId add_shared_risk_group(std::vector<SpineLinkId> links);
+
+  /// Cut (up == false) or repair (up == true) every member link.
+  /// Idempotent at group granularity: repeating the group's current
+  /// state is a no-op and the spine.srlg_cuts / spine.srlg_repairs
+  /// counters advance once per actual transition.
+  void set_group_up(SrlgId group, bool up);
+  [[nodiscard]] bool group_up(SrlgId group) const;
+  [[nodiscard]] const std::vector<SpineLinkId>& shared_risk_group(SrlgId group) const;
+  [[nodiscard]] std::size_t shared_risk_group_count() const { return srlgs_.size(); }
+
+  /// Every spine link with an endpoint gateway in `rack`, ascending by
+  /// id — the rack's spine attachments. Failing all of them is a
+  /// rack-wide brownout (the chaos harness's second correlated-failure
+  /// primitive).
+  [[nodiscard]] std::vector<SpineLinkId> rack_attachments(std::uint32_t rack) const;
 
   /// Live routing cost of `id`. Starts at params.cost; repriced by the
   /// FleetController. Setting a changed cost bumps the spine version.
@@ -306,6 +336,14 @@ class Interconnect {
     std::vector<int> hop_dir;
     std::vector<rsf::sim::SimTime> hop_busy_until;
   };
+  /// A shared-risk group's membership and its own up/down state. The
+  /// group state tracks set_group_up calls only — individual
+  /// set_link_up calls on members do not move it (the group models the
+  /// shared conduit, not the union of its cables' states).
+  struct SharedRiskGroup {
+    std::vector<SpineLinkId> links;
+    bool up = true;
+  };
   struct SpineLink {
     SpineLinkParams params;
     bool up = true;
@@ -340,6 +378,7 @@ class Interconnect {
 
   rsf::sim::Simulator* sim_;
   std::vector<SpineLink> links_;
+  std::vector<SharedRiskGroup> srlgs_;
   std::uint32_t max_rack_ = 0;
   std::uint64_t version_ = 1;
   rsf::sim::RandomStream rng_;

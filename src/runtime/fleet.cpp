@@ -144,13 +144,42 @@ fabric::RackNode FleetRuntime::at(std::uint32_t rack_idx, int x, int y) {
 }
 
 void FleetRuntime::start() {
+  started_ = true;
   for (auto& r : racks_) r->start();
   if (controller_) controller_->start();
 }
 
 void FleetRuntime::stop() {
+  started_ = false;
   for (auto& r : racks_) r->stop();
   if (controller_) controller_->stop();
+}
+
+void FleetRuntime::kill_controller() {
+  if (controller_ == nullptr) {
+    throw std::logic_error("FleetRuntime: no controller alive to kill");
+  }
+  controller_->stop();
+  // The fabric expires a dead controller's leases: its carves return
+  // to the shared residual immediately, and any traffic still tagged
+  // with the old handles degrades through the stale-handle fallback.
+  controller_->release_reservations();
+  controller_.reset();
+  registry_.counters("fleet").add("fleet.controller_kills");
+}
+
+void FleetRuntime::restart_controller(const FleetControllerCheckpoint* ckpt) {
+  if (!config_.enable_controller) {
+    throw std::logic_error("FleetRuntime: built with enable_controller = false");
+  }
+  if (controller_ != nullptr) {
+    throw std::logic_error("FleetRuntime: controller still alive; kill it first");
+  }
+  controller_ = std::make_unique<FleetController>(&sim_, spine_.get(), config_.controller,
+                                                  &registry_);
+  if (ckpt != nullptr) controller_->restore(*ckpt);
+  registry_.counters("fleet").add("fleet.controller_restarts");
+  if (started_) controller_->start();
 }
 
 void FleetRuntime::start_flow(const FleetFlowSpec& spec, FleetFlowCallback on_complete) {
@@ -402,9 +431,13 @@ void FleetRuntime::packet_spine_hop(std::uint32_t pkt_idx) {
         ++p.spine_hops;
         packet_step(pkt_idx);
       });
-  // packet_step checked link_up() synchronously, so a refusal means a
-  // logic regression — fail the flow rather than hang it.
-  if (!ok) packet_failed(pkt_idx);
+  // packet_step checked link_up() synchronously, so today a refusal
+  // can't happen — but it is a failure-path event, not a logic
+  // regression: treat a link that died between the check and the send
+  // like a loss, so the retry's re-entry into packet_step re-resolves
+  // the route around the dead hop (bounded by max_retries) instead of
+  // failing a flow a detour could still deliver.
+  if (!ok) packet_retry(pkt_idx);
 }
 
 void FleetRuntime::packet_retry(std::uint32_t pkt_idx) {
@@ -416,6 +449,12 @@ void FleetRuntime::packet_retry(std::uint32_t pkt_idx) {
   ++pkt.retries;
   if (FleetFlowState* f = live_flow(pkt)) ++f->retransmits;
   ++spine_retransmits_slot_;
+  // Even at retry_delay == 0 the retry lands in a follow-on batch at
+  // the same instant — after any link failure scheduled in the current
+  // batch has applied. packet_step then re-checks the (possibly stale)
+  // path's next hop against live administrative state and re-plans a
+  // dead hop before sending, so a zero-delay retry can never ping-pong
+  // a pre-failure route into a link that died in its own batch.
   const auto retry = [this, pkt_idx] { packet_step(pkt_idx); };
   static_assert(sim::is_inline_event_v<decltype(retry)>,
                 "the per-packet retry must stay on the inline event arm");

@@ -188,6 +188,25 @@ class FleetRuntime {
   /// no-ops when absent).
   void start();
   void stop();
+
+  // --- controller kill/restart (the chaos harness's primitive) ---
+
+  /// Crash the controller mid-epoch: stop its tick loop, expire its
+  /// reservation leases (the fabric releases a dead controller's
+  /// carves), and destroy it. Learned state is lost unless a
+  /// checkpoint was taken beforehand (controller().checkpoint()).
+  /// Throws std::logic_error when no controller is alive.
+  void kill_controller();
+
+  /// Bring a controller back after kill_controller(): rebuild it from
+  /// the fleet's controller config, optionally load `ckpt`, and — when
+  /// the fleet is started — arm its epoch loop at the current time. A
+  /// cold restart (null ckpt) re-learns reservations from scratch; a
+  /// checkpointed restart re-earns them on the first post-restart
+  /// epoch if the pair is still hot. Counts fleet.controller_restarts.
+  /// Throws std::logic_error when built with enable_controller = false
+  /// or while a controller is still alive.
+  void restart_controller(const FleetControllerCheckpoint* ckpt = nullptr);
   /// Drain the fleet to `until`. workers = 1 runs the shared clock
   /// directly; workers > 1 hands the same horizon to the
   /// conservative-PDES merge engine (identical semantics and event
@@ -227,6 +246,11 @@ class FleetRuntime {
   /// fleet flows holds flow_slots() at peak concurrency.
   [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
   [[nodiscard]] std::size_t free_flow_slots() const { return flows_.free_count(); }
+  /// Packet-slot pool observability, same contract: after a fleet
+  /// quiesces (every flow terminal, pipeline drained) free must equal
+  /// total — the chaos verifier's stale-handle/leak check.
+  [[nodiscard]] std::size_t packet_slots() const { return packets_.size(); }
+  [[nodiscard]] std::size_t free_packet_slots() const { return packets_.free_count(); }
 
   /// Parallel-drive observability (both 0 with workers = 1). Exposed
   /// as accessors — the fleet.sync_windows / fleet.cross_shard_events
@@ -361,6 +385,9 @@ class FleetRuntime {
   core::SlotPool<FleetFlowState, std::uint64_t, FleetFlowDrained> flows_;
   core::SlotPool<FleetPacket> packets_;
   fabric::FlowId next_leg_id_ = kLegFlowBase;
+  /// Between start() and stop(): a controller restarted while the
+  /// fleet is live arms its epoch loop immediately.
+  bool started_ = false;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;
   std::vector<std::unique_ptr<workload::CrossRackShuffle>> shuffles_;

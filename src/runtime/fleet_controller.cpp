@@ -54,7 +54,68 @@ void FleetController::start() {
   if (running_) return;
   running_ = true;
   snapshot_busy();  // open the first observation window at "now"
+  // Warm-spine start: pairs this controller knows nothing about get
+  // their demand baseline pinned to the current cumulative total, so a
+  // cold mid-run restart diffs only post-restart traffic instead of
+  // misreading the fleet's whole history as one epoch's delta. At
+  // t = 0 the demand map is empty and this is a no-op; checkpointed
+  // pairs were restored into pair_state_ already and keep their
+  // (deliberately stale) baselines.
+  for (const auto& [key, total] : spine_->pair_demand()) {
+    auto [it, inserted] = pair_state_.try_emplace(key);
+    if (inserted) it->second.last_bytes = total;
+  }
   next_tick_ = sim_->schedule_weak_after(config_.epoch, [this] { tick(); });
+}
+
+FleetControllerCheckpoint FleetController::checkpoint() const {
+  FleetControllerCheckpoint ckpt;
+  ckpt.epochs = epochs_;
+  ckpt.pairs.reserve(pair_state_.size());
+  for (const auto& [key, st] : pair_state_) {
+    ckpt.pairs.push_back({key, st.last_bytes, st.score, st.hot_streak, st.idle_streak,
+                          st.handle.valid() && spine_->reservation_active(st.handle)});
+  }
+  return ckpt;
+}
+
+void FleetController::restore(const FleetControllerCheckpoint& ckpt) {
+  if (running_) {
+    throw std::logic_error("FleetController: restore into a running controller");
+  }
+  pair_state_.clear();
+  promoted_ = 0;
+  for (const FleetControllerCheckpoint::PairEntry& e : ckpt.pairs) {
+    PairState st;
+    st.last_bytes = e.last_bytes;
+    st.score = e.score;
+    st.hot_streak = e.hot_streak;
+    st.idle_streak = e.idle_streak;
+    // A reservation intent restores as a full promote streak: if the
+    // pair is still hot in the first post-restart epoch, the normal
+    // pass-2 admission re-earns the carve immediately; if it cooled
+    // during the outage, the streak resets to zero there and nothing
+    // is re-reserved. Handles are never resurrected.
+    if (e.reserved) {
+      st.hot_streak = std::max(st.hot_streak, config_.reservations.promote_after);
+    }
+    pair_state_.emplace(e.key, st);
+  }
+}
+
+std::size_t FleetController::release_reservations() {
+  std::size_t released = 0;
+  for (auto& [key, st] : pair_state_) {
+    if (!st.handle.valid() || !spine_->reservation_active(st.handle)) {
+      st.handle = {};
+      continue;
+    }
+    spine_->release(st.handle);
+    st.handle = {};
+    ++released;
+  }
+  promoted_ = 0;
+  return released;
 }
 
 void FleetController::stop() {

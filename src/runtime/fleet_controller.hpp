@@ -104,6 +104,31 @@ struct FleetControllerConfig {
   FleetReservationPolicy reservations{};
 };
 
+/// A serialized snapshot of the controller's learned state: per-pair
+/// demand baselines, decayed ranking scores, hysteresis streaks, and
+/// reservation *intents*. Intents, not handles: a controller that died
+/// lost its leases (the fabric releases a dead controller's carves, the
+/// mcsotdma renewal/timeout model collapsed to immediate expiry), so a
+/// restore never resurrects a handle — it marks the pair as holding a
+/// full promote streak, and the first post-restart epoch re-earns the
+/// carve through the normal admission path if the pair is still hot.
+struct FleetControllerCheckpoint {
+  struct PairEntry {
+    /// (src_rack << 32) | dst_rack.
+    std::uint64_t key = 0;
+    std::uint64_t last_bytes = 0;
+    double score = 0.0;
+    int hot_streak = 0;
+    int idle_streak = 0;
+    /// The pair held a live reservation at checkpoint time.
+    bool reserved = false;
+  };
+  std::vector<PairEntry> pairs;
+  /// Epochs the checkpointing controller had completed (informational;
+  /// a restored controller's own epoch count starts at zero).
+  std::uint64_t epochs = 0;
+};
+
 class FleetController {
  public:
   /// Metrics land in `registry` under "fleet.*" when one is supplied
@@ -118,10 +143,33 @@ class FleetController {
   FleetController& operator=(const FleetController&) = delete;
 
   /// Begin epoch ticking. The first observation window opens now; the
-  /// first repricing decision lands one epoch later.
+  /// first repricing decision lands one epoch later. A controller
+  /// starting on a warm spine (a mid-run restart) seeds its demand
+  /// baselines at the current cumulative totals for pairs it has no
+  /// state for, so the fleet's entire history is not misread as one
+  /// epoch's delta — restored pairs keep their checkpointed baselines
+  /// (the outage gap *is* their post-restart heat).
   void start();
   void stop();
   [[nodiscard]] bool running() const { return running_; }
+
+  // --- checkpoint / restore (the chaos harness's restart primitive) ---
+
+  /// Freeze the learned state. Cheap (one pass over the pair map) and
+  /// side-effect free; safe to take mid-epoch on a running controller.
+  [[nodiscard]] FleetControllerCheckpoint checkpoint() const;
+
+  /// Load a checkpoint into a stopped (typically freshly built)
+  /// controller, replacing any existing pair state. Reservation
+  /// intents are restored as full promote streaks — see
+  /// FleetControllerCheckpoint. Throws while running.
+  void restore(const FleetControllerCheckpoint& ckpt);
+
+  /// Release every reservation this controller holds and forget the
+  /// handles (streaks survive). The kill path: the fabric expiring a
+  /// dead controller's leases before the process goes away. Returns
+  /// how many were released.
+  std::size_t release_reservations();
 
   [[nodiscard]] std::uint64_t epochs_completed() const { return epochs_; }
   [[nodiscard]] std::uint64_t reprices() const { return reprices_; }

@@ -237,10 +237,15 @@ TEST_F(SpineFixture, RejectsBadLinkParams) {
   bad_cost.cost = 0.0;
   EXPECT_THROW(spine.add_link(bad_cost), std::invalid_argument);
 
+  // loss_prob accepts the closed interval: 1.0 is a legal blackhole
+  // link (routes normally, drops everything); only out-of-range
+  // probabilities are rejected.
   SpineLinkParams bad_loss;
   bad_loss.a = {0, 0};
   bad_loss.b = {1, 0};
-  bad_loss.loss_prob = 1.0;
+  bad_loss.loss_prob = 1.01;
+  EXPECT_THROW(spine.add_link(bad_loss), std::invalid_argument);
+  bad_loss.loss_prob = -0.01;
   EXPECT_THROW(spine.add_link(bad_loss), std::invalid_argument);
 
   const SpineLinkId id = add(0, 1);

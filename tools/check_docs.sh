@@ -39,7 +39,7 @@ while IFS= read -r name; do
     echo "UNDOCUMENTED METRIC: \"$name\" appears in src/ but not in docs/METRICS.md"
     fail=1
   fi
-done < <(grep -rhoE '"(net|crc|spine|fleet|plp)\.[a-zA-Z0-9_.-]*"' src/ \
+done < <(grep -rhoE '"(net|crc|spine|fleet|plp|chaos)\.[a-zA-Z0-9_.-]*"' src/ \
            --include='*.cpp' --include='*.hpp' | tr -d '"' | sort -u)
 
 if [ "$fail" -ne 0 ]; then
