@@ -48,6 +48,7 @@
 
 #include "core/slot_pool.hpp"
 #include "core/small_function.hpp"
+#include "fabric/slot_calendar.hpp"
 #include "phy/types.hpp"
 #include "phy/units.hpp"
 #include "sim/random.hpp"
@@ -80,6 +81,20 @@ struct SpineReservationHandle {
   [[nodiscard]] bool valid() const { return id != kInvalidId; }
   friend bool operator==(const SpineReservationHandle&,
                          const SpineReservationHandle&) = default;
+};
+
+/// Versioned handle to a spine slot schedule (the TDMA regime's
+/// counterpart of SpineReservationHandle): same recycled-slot +
+/// generation staleness contract — released, expired, or preempted
+/// schedules leave holders with an inert handle.
+struct SpineScheduleHandle {
+  static constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+  std::uint32_t id = kInvalidId;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return id != kInvalidId; }
+  friend bool operator==(const SpineScheduleHandle&,
+                         const SpineScheduleHandle&) = default;
 };
 
 struct SpineLinkParams {
@@ -198,6 +213,13 @@ class Interconnect {
   [[nodiscard]] std::optional<std::vector<SpineLinkId>> compute_route(
       std::uint32_t src_rack, std::uint32_t dst_rack) const;
 
+  /// compute_route with an avoid-set: links in `avoid` are skipped as
+  /// if administratively down. The multi-path schedule split uses it
+  /// to find a second route link-disjoint from the first.
+  [[nodiscard]] std::optional<std::vector<SpineLinkId>> compute_route_avoiding(
+      std::uint32_t src_rack, std::uint32_t dst_rack,
+      const std::vector<SpineLinkId>& avoid) const;
+
   // --- circuit reservations ---
 
   /// Carve `fraction` (0 < fraction < 1) of per-direction capacity for
@@ -251,6 +273,76 @@ class Interconnect {
   /// exactly the nameplate rate.
   [[nodiscard]] phy::DataRate residual_rate(SpineLinkId id, std::uint32_t from_rack) const;
 
+  // --- slot schedules (the TDMA regime) ---
+
+  /// Wall-clock length of one calendar slot; slot s of the repeating
+  /// frame covers [s·d, (s+1)·d) modulo kFrameSlots·d. Changing it
+  /// mid-run is refused while any schedule is live (booked slot sets
+  /// would silently shift under their owners).
+  void set_slot_duration(rsf::sim::SimTime d);
+  [[nodiscard]] rsf::sim::SimTime slot_duration() const { return slot_duration_; }
+
+  /// Inactivity window after which a schedule self-expires: a pair
+  /// that stopped sending returns its slots without controller help
+  /// (each slotted send renews the lease). Applies to schedules booked
+  /// after the call.
+  void set_slot_timeout(rsf::sim::SimTime timeout);
+  [[nodiscard]] rsf::sim::SimTime slot_timeout() const { return slot_timeout_; }
+
+  /// Book a periodic slot schedule for (src_rack, dst_rack): `duty`
+  /// owned offsets per `period` slots (period divides
+  /// SlotCalendar::kFrameSlots) on every link-direction of the pinned
+  /// route — the cheapest current route, or the cheapest avoiding
+  /// `avoid`'s links when given (the multi-path split). Admission is
+  /// all-or-nothing through the SlotCalendar: any third-party overlap
+  /// on any crossed direction refuses the whole booking (nullopt,
+  /// "spine.slot_refusals") and leaves no partial claim. A booked
+  /// schedule subtracts duty/period from every crossed direction's
+  /// shared residual and expires on its own after slot_timeout() of
+  /// inactivity. Bumps the schedule version.
+  std::optional<SpineScheduleHandle> reserve_slots(
+      std::uint32_t src_rack, std::uint32_t dst_rack, int period, int duty,
+      const std::vector<SpineLinkId>& avoid = {});
+
+  /// Tear the schedule down and return its slots and residual
+  /// fraction. Stale handles are a no-op (idempotent; races with
+  /// expiry and failure-driven preemption are benign).
+  void release_slots(SpineScheduleHandle handle);
+
+  /// True while `handle` names a live schedule (same generation).
+  [[nodiscard]] bool schedule_active(SpineScheduleHandle handle) const;
+
+  /// Every live schedule of (src_rack, dst_rack), booking order — one
+  /// pair may hold several (the multi-path split books one per route).
+  [[nodiscard]] std::vector<SpineScheduleHandle> find_schedules(
+      std::uint32_t src_rack, std::uint32_t dst_rack) const;
+
+  /// The pinned route / owned slot set / capacity share of a live
+  /// schedule. Throw on stale handles — check schedule_active first.
+  [[nodiscard]] const std::vector<SpineLinkId>& schedule_route(
+      SpineScheduleHandle handle) const;
+  [[nodiscard]] SlotMask schedule_mask(SpineScheduleHandle handle) const;
+  [[nodiscard]] double schedule_fraction(SpineScheduleHandle handle) const;
+
+  /// Live schedules right now.
+  [[nodiscard]] std::size_t schedule_count() const {
+    return schedules_.size() - schedules_.free_count();
+  }
+
+  /// Monotonic version of the schedule table: bumped by
+  /// reserve_slots(), release_slots(), expiry, and failure-driven
+  /// preemption. Transports poll it to adopt or drop a pair's
+  /// schedules without a per-packet lookup. Stays 0 while slot
+  /// schedules are never used.
+  [[nodiscard]] std::uint64_t schedule_version() const { return schedule_version_; }
+
+  /// Fraction of direction (`id`, leaving `from_rack`) currently owned
+  /// by slot schedules (the sum of their duty/period shares).
+  [[nodiscard]] double slotted_fraction(SpineLinkId id, std::uint32_t from_rack) const;
+
+  /// The slot-admission ledger (tests assert occupancy against it).
+  [[nodiscard]] const SlotCalendar& slot_calendar() const { return calendar_; }
+
   // --- per-pair demand (the controller's promotion input) ---
 
   /// Stable reference to the pair's cumulative offered cross-rack
@@ -292,6 +384,16 @@ class Interconnect {
     return send_packet(id, from_rack, size, SpineReservationHandle{}, std::move(cb));
   }
 
+  /// Slotted variant: when `schedule` is live and its pinned route
+  /// crosses `id` leaving `from_rack`, the packet waits for the
+  /// pair's next owned calendar slot on that hop and serializes at the
+  /// full link rate inside it — collision-free by the calendar's
+  /// admission rule — and the send renews the schedule's inactivity
+  /// lease. A stale or foreign handle falls back to the shared
+  /// residual: expired or preempted traffic degrades, never errors.
+  bool send_packet(SpineLinkId id, std::uint32_t from_rack, phy::DataSize size,
+                   SpineScheduleHandle schedule, PacketCallback cb);
+
   /// Bulk store-and-forward transfer: the whole payload occupies the
   /// direction for its serialization time. Comparison baseline for
   /// the packetized path (FleetConfig::transport selects). `cb` fires
@@ -321,9 +423,14 @@ class Interconnect {
     std::uint64_t packets = 0;
     std::uint64_t drops = 0;
     /// Capacity carved out by reservations crossing this direction.
-    /// The shared FIFO serializes at rate × (1 − reserved_fraction);
-    /// 0 keeps the arithmetic identical to the unreserved spine.
+    /// The shared FIFO serializes at rate × (1 − reserved_fraction −
+    /// slotted_fraction); 0 keeps the arithmetic identical to the
+    /// unreserved spine.
     double reserved_fraction = 0.0;
+    /// Capacity owned by slot schedules crossing this direction (the
+    /// sum of their duty/period shares). Same residual arithmetic as
+    /// reserved_fraction; 0 while slot schedules are unused.
+    double slotted_fraction = 0.0;
   };
   struct Reservation {
     std::uint32_t src_rack = 0;
@@ -343,6 +450,13 @@ class Interconnect {
   struct SharedRiskGroup {
     std::vector<SpineLinkId> links;
     bool up = true;
+    /// Members this group's cut actually transitioned down (links an
+    /// overlapping group or a direct set_link_up had already failed
+    /// are not claimed). Repair restores exactly this set; a repair
+    /// whose cut took nothing down is a pure no-op (counted as
+    /// "spine.srlg_noop_repairs") instead of a phantom version bump
+    /// that would resurrect links another group still holds down.
+    std::vector<SpineLinkId> took_down;
   };
   struct SpineLink {
     SpineLinkParams params;
@@ -364,6 +478,11 @@ class Interconnect {
                                 rsf::sim::SimTime latency, phy::DataSize size);
   /// Book one serialization on the shared residual FIFO of (l, d).
   rsf::sim::SimTime occupy(SpineLink& l, int d, phy::DataSize size);
+  /// The shared send_packet tail: per-direction and per-link packet
+  /// counters, the loss draw, and the completion event. The ordering
+  /// (counters, then the RNG draw, then the scheduled callback) is
+  /// part of the determinism contract — every overload shares it.
+  bool finish_packet(SpineLink& ml, int d, rsf::sim::SimTime arrival, PacketCallback cb);
   [[nodiscard]] const Reservation* live_reservation(SpineReservationHandle h) const {
     // SpineReservationHandle::kInvalidId is SlotPool's invalid index,
     // so stale, foreign and never-valid handles all fail is_live.
@@ -372,6 +491,46 @@ class Interconnect {
   /// Tear one reservation down and return its carve (shared by
   /// release() and failure-driven preemption).
   void teardown_reservation(std::uint32_t idx);
+
+  /// One pair's periodic slot schedule: a SlotCalendar booking plus
+  /// the pinned route, the per-hop slotted FIFO horizon, and the
+  /// inactivity lease. Liveness and the stale-handle generation live
+  /// in the SlotPool.
+  struct SlotSchedule {
+    std::uint32_t src_rack = 0;
+    std::uint32_t dst_rack = 0;
+    /// duty / period — the capacity share subtracted from every
+    /// crossed direction's shared residual while the schedule lives.
+    double fraction = 0.0;
+    SlotCalendar::Handle booking;
+    SlotMask mask = 0;
+    std::vector<SpineLinkId> route;
+    std::vector<int> hop_dir;
+    /// Per-hop booking horizon of the schedule's private slotted
+    /// FIFO (successive packets of the pair queue behind each other
+    /// inside their own slots, never against third parties).
+    std::vector<rsf::sim::SimTime> hop_busy_until;
+    /// Inactivity lease: bumped by every slotted send; the weak
+    /// expiry event tears the schedule down when it goes stale.
+    rsf::sim::SimTime last_activity = rsf::sim::SimTime::zero();
+    rsf::sim::SimTime timeout = rsf::sim::SimTime::zero();
+  };
+
+  [[nodiscard]] const SlotSchedule* live_schedule(SpineScheduleHandle h) const {
+    return schedules_.get_live(h.id, h.generation);
+  }
+  /// Tear one schedule down and return its slots + residual share
+  /// (shared by release_slots(), expiry, and failure preemption).
+  void teardown_schedule(std::uint32_t idx);
+  /// Arm (or re-arm) the schedule's weak inactivity-expiry event.
+  void arm_schedule_expiry(std::uint32_t idx, std::uint32_t generation);
+  /// The earliest instant >= `from` inside a slot `mask` owns.
+  [[nodiscard]] rsf::sim::SimTime next_owned_time(rsf::sim::SimTime from,
+                                                  SlotMask mask) const;
+  /// The calendar line of (`link`, direction d).
+  [[nodiscard]] static SlotCalendar::LineId line_of(SpineLinkId link, int d) {
+    return (static_cast<SlotCalendar::LineId>(link) << 1) | static_cast<unsigned>(d);
+  }
   [[nodiscard]] static std::uint64_t pair_key(std::uint32_t src, std::uint32_t dst) {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
@@ -391,6 +550,14 @@ class Interconnect {
   core::SlotPool<Reservation> reservations_;
   std::map<std::uint64_t, std::uint32_t> reservation_by_pair_;
   std::uint64_t reservation_version_ = 0;
+  // Slot-schedule table: same SlotPool staleness contract as the
+  // reservation table; a pair may hold several schedules (multi-path).
+  core::SlotPool<SlotSchedule> schedules_;
+  std::map<std::uint64_t, std::vector<std::uint32_t>> schedules_by_pair_;
+  std::uint64_t schedule_version_ = 0;
+  SlotCalendar calendar_;
+  rsf::sim::SimTime slot_duration_ = rsf::sim::SimTime::microseconds(1);
+  rsf::sim::SimTime slot_timeout_ = rsf::sim::SimTime::microseconds(150);
   std::map<std::uint64_t, std::uint64_t> pair_demand_;
   telemetry::CounterSet& counters_;
   // Hot-path counter slots (stable references into counters_).
@@ -398,6 +565,7 @@ class Interconnect {
   std::uint64_t& bytes_slot_;
   std::uint64_t& drops_slot_;
   std::uint64_t& reserved_bytes_slot_;
+  std::uint64_t& slotted_bytes_slot_;
   telemetry::Histogram& transfer_latency_;
   telemetry::Histogram& queue_delay_;
 };

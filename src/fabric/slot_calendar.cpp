@@ -1,0 +1,104 @@
+#include "fabric/slot_calendar.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rsf::fabric {
+
+void SlotCalendar::validate_shape(int period, int duty) {
+  if (period < 1 || period > kFrameSlots || kFrameSlots % period != 0) {
+    throw std::invalid_argument("SlotCalendar: period must divide the frame");
+  }
+  if (duty < 1 || duty > period) {
+    throw std::invalid_argument("SlotCalendar: duty outside [1, period]");
+  }
+}
+
+SlotMask SlotCalendar::periodic_mask(int period, int offset) {
+  validate_shape(period, 1);
+  if (offset < 0 || offset >= period) {
+    throw std::invalid_argument("SlotCalendar: offset outside [0, period)");
+  }
+  SlotMask m = 0;
+  for (int s = offset; s < kFrameSlots; s += period) m |= SlotMask{1} << s;
+  return m;
+}
+
+SlotMask SlotCalendar::propose(const std::vector<LineId>& lines, int period,
+                               int duty) const {
+  validate_shape(period, duty);
+  SlotMask combined = 0;
+  int found = 0;
+  for (int offset = 0; offset < period && found < duty; ++offset) {
+    const SlotMask candidate = periodic_mask(period, offset);
+    bool free = true;
+    for (const LineId line : lines) {
+      if ((occupancy(line) & candidate) != 0) {
+        free = false;
+        break;
+      }
+    }
+    if (free) {
+      combined |= candidate;
+      ++found;
+    }
+  }
+  return found == duty ? combined : 0;
+}
+
+SlotCalendar::Handle SlotCalendar::book(std::vector<LineId> lines, SlotMask mask) {
+  if (mask == 0 || lines.empty()) return {};
+  // A repeated line would double-claim the same slots against itself
+  // and release() would then clear them twice — refuse the malformed
+  // booking outright instead.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      if (lines[i] == lines[j]) return {};
+    }
+  }
+  // Admission before any mutation: an overlap on the last line must
+  // leave the first line's occupancy untouched.
+  for (const LineId line : lines) {
+    if ((occupancy(line) & mask) != 0) return {};
+  }
+  for (const LineId line : lines) lines_[line] |= mask;
+  const auto slot = bookings_.claim();
+  Booking& b = bookings_[slot.index];
+  b.lines = std::move(lines);
+  b.mask = mask;
+  return Handle{slot.index, slot.generation};
+}
+
+bool SlotCalendar::release(Handle h) {
+  const Booking* b = live(h);
+  if (b == nullptr) return false;  // stale: idempotent no-op
+  for (const LineId line : b->lines) {
+    const auto it = lines_.find(line);
+    it->second &= ~b->mask;
+    if (it->second == 0) lines_.erase(it);
+  }
+  bookings_.recycle(h.id);
+  return true;
+}
+
+SlotMask SlotCalendar::mask(Handle h) const {
+  const Booking* b = live(h);
+  return b != nullptr ? b->mask : 0;
+}
+
+const std::vector<SlotCalendar::LineId>& SlotCalendar::lines(Handle h) const {
+  const Booking* b = live(h);
+  if (b == nullptr) throw std::invalid_argument("SlotCalendar: stale booking handle");
+  return b->lines;
+}
+
+SlotMask SlotCalendar::occupancy(LineId line) const {
+  const auto it = lines_.find(line);
+  return it != lines_.end() ? it->second : 0;
+}
+
+int SlotCalendar::free_slots(LineId line) const {
+  return kFrameSlots - std::popcount(occupancy(line));
+}
+
+}  // namespace rsf::fabric

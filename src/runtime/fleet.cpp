@@ -160,10 +160,13 @@ void FleetRuntime::kill_controller() {
     throw std::logic_error("FleetRuntime: no controller alive to kill");
   }
   controller_->stop();
-  // The fabric expires a dead controller's leases: its carves return
-  // to the shared residual immediately, and any traffic still tagged
-  // with the old handles degrades through the stale-handle fallback.
+  // The fabric expires a dead controller's leases: its carves and
+  // booked slots return to the shared residual immediately, and any
+  // traffic still tagged with the old handles degrades through the
+  // stale-handle fallback. (Schedules would also self-expire after
+  // slot_timeout() of inactivity; the kill just doesn't wait.)
   controller_->release_reservations();
+  controller_->release_schedules();
   controller_.reset();
   registry_.counters("fleet").add("fleet.controller_kills");
 }
@@ -260,6 +263,24 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
               .value_or(fabric::SpineReservationHandle{});
       f.route.reset();  // re-resolve: pinned circuit or shared route
     }
+    // Slot-schedule binding: the same version-gated adoption for the
+    // TDMA regime. schedule_version() stays 0 until the first
+    // reserve_slots(), so unslotted fleets never enter this branch
+    // either. A pair may hold several schedules (the controller's
+    // multi-path split); each pins its own route, copied once per
+    // adoption and shared by every packet riding it.
+    if (f.schedule_version != spine_->schedule_version()) {
+      f.schedule_version = spine_->schedule_version();
+      f.schedules.clear();
+      f.schedule_routes.clear();
+      for (const fabric::SpineScheduleHandle h :
+           spine_->find_schedules(f.spec.src.rack, f.spec.dst.rack)) {
+        f.schedules.push_back(h);
+        f.schedule_routes.push_back(
+            std::make_shared<const std::vector<fabric::SpineLinkId>>(
+                spine_->schedule_route(h)));
+      }
+    }
     // The route is resolved against the spine version: controller
     // repricing (a version bump) redirects the very next packet, and
     // between bumps every packet shares one immutable path (refcount,
@@ -301,7 +322,16 @@ void FleetRuntime::pump_packets(std::uint32_t flow_idx) {
     pkt.reservation = f.reservation;
     pkt.size = f.spec.size.packet_at(static_cast<std::int64_t>(f.next_seq),
                                      f.spec.packet_size);
-    pkt.path = f.route;
+    if (!f.schedules.empty()) {
+      // Round-robin across the pair's schedules (the multi-path
+      // split): successive packets alternate the parallel routes.
+      const auto k = static_cast<std::size_t>(f.next_seq % f.schedules.size());
+      pkt.schedule = f.schedules[k];
+      pkt.path = f.schedule_routes[k];
+    } else {
+      pkt.schedule = fabric::SpineScheduleHandle{};
+      pkt.path = f.route;
+    }
     pkt.next_hop = 0;
     pkt.at = f.spec.src;
     pkt.leg_to = phy::kInvalidNode;
@@ -412,25 +442,31 @@ void FleetRuntime::packet_spine_hop(std::uint32_t pkt_idx) {
   FleetPacket& pkt = packets_[pkt_idx];
   const fabric::SpineLinkId hop = (*pkt.path)[pkt.next_hop];
   const std::uint32_t from_rack = pkt.at.rack;
-  const bool ok = spine_->send_packet(
-      hop, from_rack, pkt.size, pkt.reservation,
-      [this, pkt_idx](SimTime, bool delivered) {
-        FleetPacket& p = packets_[pkt_idx];
-        const FleetFlowState* f = live_flow(p);
-        if (f == nullptr || f->done) {
-          release_packet(pkt_idx);
-          return;
-        }
-        if (!delivered) {  // spine loss: the fleet layer retransmits
-          packet_retry(pkt_idx);
-          return;
-        }
-        const fabric::SpineLinkId crossed = (*p.path)[p.next_hop];
-        p.at = spine_->far_end(crossed, p.at.rack);
-        ++p.next_hop;
-        ++p.spine_hops;
-        packet_step(pkt_idx);
-      });
+  const auto on_hop = [this, pkt_idx](SimTime, bool delivered) {
+    FleetPacket& p = packets_[pkt_idx];
+    const FleetFlowState* f = live_flow(p);
+    if (f == nullptr || f->done) {
+      release_packet(pkt_idx);
+      return;
+    }
+    if (!delivered) {  // spine loss: the fleet layer retransmits
+      packet_retry(pkt_idx);
+      return;
+    }
+    const fabric::SpineLinkId crossed = (*p.path)[p.next_hop];
+    p.at = spine_->far_end(crossed, p.at.rack);
+    ++p.next_hop;
+    ++p.spine_hops;
+    packet_step(pkt_idx);
+  };
+  // Slotted packets ride their schedule's owned calendar slots; the
+  // rest ride the reservation overload (which itself degrades a stale
+  // or absent handle to the shared residual). Either way the delivery
+  // continuation is the same.
+  const bool ok =
+      pkt.schedule.valid()
+          ? spine_->send_packet(hop, from_rack, pkt.size, pkt.schedule, on_hop)
+          : spine_->send_packet(hop, from_rack, pkt.size, pkt.reservation, on_hop);
   // packet_step checked link_up() synchronously, so today a refusal
   // can't happen — but it is a failure-path event, not a logic
   // regression: treat a link that died between the check and the send

@@ -280,6 +280,14 @@ class FleetRuntime {
     /// never used, so unreserved fleets skip the whole branch).
     fabric::SpineReservationHandle reservation;
     std::uint64_t reservation_version = 0;
+    /// The pair's slot schedules and their pinned routes (the
+    /// multi-path split books several; packets round-robin across
+    /// them), re-checked when the spine's schedule version moves — it
+    /// stays 0 while slot schedules are never used, so unslotted
+    /// fleets skip that branch the same way.
+    std::vector<fabric::SpineScheduleHandle> schedules;
+    std::vector<std::shared_ptr<const std::vector<fabric::SpineLinkId>>> schedule_routes;
+    std::uint64_t schedule_version = 0;
     /// Demand accounting resolved with the route: a stable slot into
     /// the spine's pair-demand map plus the route's hop count, so the
     /// per-packet byte·hop bump is a pointer add, not a map lookup.
@@ -305,6 +313,9 @@ class FleetRuntime {
     /// The flow's reservation at injection; a handle gone stale by
     /// arrival (preemption) degrades to the shared residual.
     fabric::SpineReservationHandle reservation;
+    /// The slot schedule this packet rides (valid() only when its flow
+    /// bound one at injection); same stale-handle degradation.
+    fabric::SpineScheduleHandle schedule;
     phy::DataSize size = phy::DataSize::zero();
     /// Spine links still ahead of the packet (from path[next_hop] on).
     /// Shared with the flow until a mid-flight re-plan clones it.

@@ -39,6 +39,24 @@ FleetController::FleetController(rsf::sim::Simulator* sim, fabric::Interconnect*
       throw std::invalid_argument("FleetController: non-positive hysteresis epochs");
     }
   }
+  const FleetSchedulePolicy& sp = config_.schedules;
+  if (sp.enable) {
+    // One circuit discipline per controller: a pair holding both a
+    // carve and a schedule would double-subtract from the shared
+    // residual and the policies' demotion logic would fight.
+    if (rp.enable) {
+      throw std::invalid_argument(
+          "FleetController: reservation and schedule policies are mutually exclusive");
+    }
+    if (sp.period < 1 || sp.period > fabric::SlotCalendar::kFrameSlots ||
+        fabric::SlotCalendar::kFrameSlots % sp.period != 0 || sp.duty < 1 ||
+        sp.duty > sp.period) {
+      throw std::invalid_argument("FleetController: invalid slot schedule shape");
+    }
+    if (sp.promote_after < 1 || sp.demote_after < 1) {
+      throw std::invalid_argument("FleetController: non-positive hysteresis epochs");
+    }
+  }
 }
 
 void FleetController::snapshot_busy() {
@@ -73,8 +91,13 @@ FleetControllerCheckpoint FleetController::checkpoint() const {
   ckpt.epochs = epochs_;
   ckpt.pairs.reserve(pair_state_.size());
   for (const auto& [key, st] : pair_state_) {
+    bool scheduled = false;
+    for (const fabric::SpineScheduleHandle h : st.sched) {
+      scheduled = scheduled || spine_->schedule_active(h);
+    }
     ckpt.pairs.push_back({key, st.last_bytes, st.score, st.hot_streak, st.idle_streak,
-                          st.handle.valid() && spine_->reservation_active(st.handle)});
+                          st.handle.valid() && spine_->reservation_active(st.handle),
+                          scheduled});
   }
   return ckpt;
 }
@@ -99,6 +122,11 @@ void FleetController::restore(const FleetControllerCheckpoint& ckpt) {
     if (e.reserved) {
       st.hot_streak = std::max(st.hot_streak, config_.reservations.promote_after);
     }
+    // Schedule intents restore the same way: a full promote streak,
+    // never a handle (the booked slots expired with the outage).
+    if (e.scheduled) {
+      st.hot_streak = std::max(st.hot_streak, config_.schedules.promote_after);
+    }
     pair_state_.emplace(e.key, st);
   }
 }
@@ -113,6 +141,20 @@ std::size_t FleetController::release_reservations() {
     spine_->release(st.handle);
     st.handle = {};
     ++released;
+  }
+  promoted_ = 0;
+  return released;
+}
+
+std::size_t FleetController::release_schedules() {
+  std::size_t released = 0;
+  for (auto& [key, st] : pair_state_) {
+    for (const fabric::SpineScheduleHandle h : st.sched) {
+      if (!spine_->schedule_active(h)) continue;  // expired/preempted already
+      spine_->release_slots(h);
+      ++released;
+    }
+    st.sched.clear();
   }
   promoted_ = 0;
   return released;
@@ -174,6 +216,7 @@ void FleetController::tick() {
   last_max_util_ = max_util;
   util_series_.record(sim_->now(), max_util);
   if (config_.reservations.enable) run_reservation_policy();
+  if (config_.schedules.enable) run_schedule_policy();
   ++epochs_;
   counters_.add("fleet.epochs");
   next_tick_ = sim_->schedule_weak_after(config_.epoch, [this] { tick(); });
@@ -247,6 +290,114 @@ void FleetController::run_reservation_policy() {
     } else {
       // No headroom (or no route): back off a full promote window
       // instead of hammering the admission check every epoch.
+      st.hot_streak = 0;
+    }
+  }
+}
+
+bool FleetController::book_pair_schedules(std::uint32_t src, std::uint32_t dst,
+                                          PairState& st) {
+  const FleetSchedulePolicy& sp = config_.schedules;
+  if (sp.multipath && sp.duty >= 2) {
+    // Rotor-style split: duty − duty/2 on the cheapest route, the
+    // rest on the cheapest route avoiding the primary's links, so
+    // parallel spine links carry the pair concurrently (the transport
+    // round-robins its packets across the legs).
+    const int secondary_duty = sp.duty / 2;
+    const int primary_duty = sp.duty - secondary_duty;
+    if (auto h1 = spine_->reserve_slots(src, dst, sp.period, primary_duty)) {
+      if (auto h2 = spine_->reserve_slots(src, dst, sp.period, secondary_duty,
+                                          spine_->schedule_route(*h1))) {
+        st.sched = {*h1, *h2};
+        counters_.add("fleet.schedule_splits");
+        return true;
+      }
+      // No disjoint second route (or no capacity there): top the pair
+      // back up to the full duty on the default route.
+      if (auto h2 = spine_->reserve_slots(src, dst, sp.period, secondary_duty)) {
+        st.sched = {*h1, *h2};
+        return true;
+      }
+      // Even the top-up was refused; the reduced primary still beats
+      // nothing — keep it.
+      st.sched = {*h1};
+      return true;
+    }
+    return false;
+  }
+  if (auto h = spine_->reserve_slots(src, dst, sp.period, sp.duty)) {
+    st.sched = {*h};
+    return true;
+  }
+  return false;
+}
+
+void FleetController::run_schedule_policy() {
+  const FleetSchedulePolicy& sp = config_.schedules;
+  // The same two-pass machinery as the reservation policy, driving
+  // reserve_slots/release_slots instead of reserve/release. One extra
+  // wrinkle: schedules can disappear on their own (inactivity expiry,
+  // failure preemption), possibly one leg of a split at a time — a
+  // pair that lost any leg forfeits the rest and re-earns promotion.
+  const double decay = config_.demand_half_life_epochs > 0
+                           ? std::exp2(-1.0 / config_.demand_half_life_epochs)
+                           : 1.0;
+  std::vector<std::pair<double, std::uint64_t>> candidates;  // (score, key)
+  for (const auto& [key, total_bytes] : spine_->pair_demand()) {
+    PairState& st = pair_state_[key];
+    const std::uint64_t delta = total_bytes - st.last_bytes;
+    st.last_bytes = total_bytes;
+    st.score = st.score * decay + static_cast<double>(delta);
+    if (!st.sched.empty()) {
+      bool lost = false;
+      for (const fabric::SpineScheduleHandle h : st.sched) {
+        lost = lost || !spine_->schedule_active(h);
+      }
+      if (lost) {
+        for (const fabric::SpineScheduleHandle h : st.sched) {
+          if (spine_->schedule_active(h)) spine_->release_slots(h);
+        }
+        st.sched.clear();
+        st.hot_streak = 0;
+        st.idle_streak = 0;
+        --promoted_;
+      }
+    }
+    if (st.sched.empty()) {
+      st.hot_streak = delta >= sp.hot_bytes_per_epoch ? st.hot_streak + 1 : 0;
+      if (st.hot_streak >= sp.promote_after) candidates.emplace_back(st.score, key);
+      continue;
+    }
+    st.idle_streak = delta <= sp.idle_bytes_per_epoch ? st.idle_streak + 1 : 0;
+    if (st.idle_streak >= sp.demote_after) {
+      for (const fabric::SpineScheduleHandle h : st.sched) {
+        if (spine_->schedule_active(h)) spine_->release_slots(h);
+      }
+      st.sched.clear();
+      st.hot_streak = 0;
+      st.idle_streak = 0;
+      --promoted_;
+      ++demotions_;
+      counters_.add("fleet.schedule_demotions");
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first : a.second < b.second;
+            });
+  for (const auto& [score, key] : candidates) {
+    if (promoted_ >= sp.max_schedules) break;
+    PairState& st = pair_state_[key];
+    const auto src = static_cast<std::uint32_t>(key >> 32);
+    const auto dst = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    if (book_pair_schedules(src, dst, st)) {
+      st.idle_streak = 0;
+      ++promoted_;
+      ++promotions_;
+      counters_.add("fleet.schedule_promotions");
+    } else {
+      // No slots anywhere: back off a full promote window instead of
+      // hammering the calendar every epoch.
       st.hot_streak = 0;
     }
   }

@@ -76,6 +76,36 @@ struct FleetReservationPolicy {
   std::size_t max_reservations = 4;
 };
 
+/// Promote/demote policy for spine slot schedules — the TDMA regime's
+/// counterpart of FleetReservationPolicy, building rotor-style
+/// periodic schedules for the hottest rack pairs from the same
+/// byte·hops demand ranking. Mutually exclusive with the reservation
+/// policy (one circuit discipline per controller; the constructor
+/// refuses both). Disabled by default.
+struct FleetSchedulePolicy {
+  bool enable = false;
+  /// Slot set booked per promoted pair: `duty` owned offsets per
+  /// `period` slots (period must divide SlotCalendar::kFrameSlots,
+  /// 1 <= duty <= period). duty/period is the pair's capacity share.
+  int period = 4;
+  int duty = 2;
+  /// Hot/idle demand thresholds and hysteresis streaks, same
+  /// semantics as FleetReservationPolicy.
+  std::uint64_t hot_bytes_per_epoch = 64 * 1024;
+  std::uint64_t idle_bytes_per_epoch = 4 * 1024;
+  int promote_after = 2;
+  int demote_after = 4;
+  /// Cap on concurrently scheduled pairs (a split pair counts once).
+  std::size_t max_schedules = 4;
+  /// Split a promoted pair's duty across two routes when possible:
+  /// duty − duty/2 on the cheapest route, duty/2 on the cheapest
+  /// route avoiding the primary's links (parallel spine links carry
+  /// the pair concurrently; packets round-robin the legs). When no
+  /// disjoint second route exists the remainder books on the default
+  /// route; when even that fails the pair keeps the reduced primary.
+  bool multipath = false;
+};
+
 struct FleetControllerConfig {
   /// Control epoch: how often spine links are observed and repriced.
   rsf::sim::SimTime epoch = rsf::sim::SimTime::microseconds(100);
@@ -102,6 +132,9 @@ struct FleetControllerConfig {
   double demand_half_life_epochs = 0.0;
   /// Spine circuit reservation promote/demote policy.
   FleetReservationPolicy reservations{};
+  /// Spine slot-schedule promote/demote policy (mutually exclusive
+  /// with the reservation policy).
+  FleetSchedulePolicy schedules{};
 };
 
 /// A serialized snapshot of the controller's learned state: per-pair
@@ -122,6 +155,11 @@ struct FleetControllerCheckpoint {
     int idle_streak = 0;
     /// The pair held a live reservation at checkpoint time.
     bool reserved = false;
+    /// The pair held live slot schedules at checkpoint time. Same
+    /// intent-not-handle contract: restore marks a full promote
+    /// streak and the first post-restart epoch re-books through the
+    /// normal admission path if the pair is still hot.
+    bool scheduled = false;
   };
   std::vector<PairEntry> pairs;
   /// Epochs the checkpointing controller had completed (informational;
@@ -171,6 +209,13 @@ class FleetController {
   /// how many were released.
   std::size_t release_reservations();
 
+  /// The slot-schedule counterpart of release_reservations(): release
+  /// every schedule this controller booked and forget the handles
+  /// (streaks survive). Returns how many were released. Note that
+  /// unlike carves, schedules would also expire on their own after
+  /// slot_timeout() of inactivity — this just returns them promptly.
+  std::size_t release_schedules();
+
   [[nodiscard]] std::uint64_t epochs_completed() const { return epochs_; }
   [[nodiscard]] std::uint64_t reprices() const { return reprices_; }
   /// Rack pairs promoted into / demoted out of spine reservations.
@@ -194,6 +239,10 @@ class FleetController {
   /// One epoch of the reservation policy: diff per-pair demand,
   /// advance hot/idle streaks, promote and demote.
   void run_reservation_policy();
+  /// One epoch of the slot-schedule policy: the same demand machinery
+  /// driving reserve_slots/release_slots, including the multi-path
+  /// duty split.
+  void run_schedule_policy();
 
   rsf::sim::Simulator* sim_;
   fabric::Interconnect* spine_;
@@ -221,9 +270,17 @@ class FleetController {
     int hot_streak = 0;
     int idle_streak = 0;
     fabric::SpineReservationHandle handle;
+    /// Slot-schedule handles (schedule policy): one, or two when the
+    /// promotion split across disjoint routes. Empty = not scheduled.
+    std::vector<fabric::SpineScheduleHandle> sched;
   };
+  /// Book a promoted pair's schedule(s) into `st`; false when the
+  /// spine refused everything (the caller backs the streak off).
+  bool book_pair_schedules(std::uint32_t src, std::uint32_t dst, PairState& st);
   std::map<std::uint64_t, PairState> pair_state_;
-  /// Live handles this controller holds (≤ max_reservations).
+  /// Pairs holding live reservations (≤ max_reservations) or live
+  /// schedules (≤ max_schedules) — the policies are exclusive, so one
+  /// count serves both.
   std::size_t promoted_ = 0;
 
   // Instruments live in the registry (owned locally only when the

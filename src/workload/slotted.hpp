@@ -1,0 +1,146 @@
+// rsf::workload — the slotted-transport crossover scenario family.
+//
+// The ext9 sweep compares two spine-sharing regimes end-to-end: pure
+// packet (statistical FIFO sharing) and fraction carves (the
+// controller's reservation policy). This file adds the third regime —
+// per-link TDMA slot schedules (Interconnect::reserve_slots + the
+// FleetController schedule policy) — and a scenario family built to
+// expose where each wins:
+//
+//  * kSkew  — a persistently hot rack pair sharing one spine leg with
+//    continuous background traffic. Sustained contention: both carves
+//    and slots pay off, and multipath slotting aggregates two parallel
+//    legs where a carve pins one.
+//  * kChurn — the hot pair sends in waves separated by gaps longer
+//    than the fabric's slot inactivity timeout but shorter than the
+//    carve's demote window. Slots self-expire inside every gap and
+//    hand the capacity back to the background; the carve sits on it.
+//  * kFlap  — sustained contention while one of the parallel hot legs
+//    flaps down and up. Exercises failure-driven slot preemption and
+//    the controller's re-book path.
+//
+// Every arm runs under each of the three regimes on a fixed topology:
+// racks 0, 1, 2 with two parallel 25 Gbps legs 1 <-> 0 and two
+// parallel 50 Gbps feeders 2 <-> 1. The hot incast is the transit
+// pair rack 2 -> rack 0 — two hops, the fleet's biggest byte·hops
+// consumer and therefore what both policies' demand ranking promotes;
+// its multipath split lands on the fully disjoint second route
+// (feeder + leg). Background is rack 1 -> rack 0, one hop on the same
+// leg the hot primary crosses. Prices are frozen (utilisation weight
+// 0) so the regimes differ only in how they share capacity, not in
+// where routes land.
+//
+// Deterministic: same config and seed, byte-identical metrics across
+// FleetConfig::workers 1 vs N (the property test and the ext11
+// determinism gate both diff exactly that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+#include "workload/crossrack.hpp"
+
+namespace rsf::runtime {
+class FleetRuntime;
+}  // namespace rsf::runtime
+
+namespace rsf::workload {
+
+enum class SlottedArm {
+  kSkew,
+  kChurn,
+  kFlap,
+};
+
+enum class SlottedRegime {
+  /// Statistical sharing only (the repricing controller still runs).
+  kPacket,
+  /// Fraction carves: the controller's reservation policy.
+  kCarve,
+  /// TDMA slot schedules: the controller's schedule policy, with
+  /// multipath splitting across the parallel hot legs.
+  kSlotted,
+};
+
+struct SlottedScenarioConfig {
+  SlottedArm arm = SlottedArm::kSkew;
+  SlottedRegime regime = SlottedRegime::kPacket;
+  /// Per-packet loss probability on every spine link.
+  double loss_prob = 0.0;
+  /// Seeds the fleet (spine loss sampler); same seed, same bytes.
+  std::uint64_t seed = 1;
+  /// FleetConfig::workers passthrough (1 = the serial oracle).
+  int workers = 1;
+  /// Bytes each hot source moves in total (split across waves in the
+  /// churn arm — each wave must span several flow windows, or the
+  /// whole wave's demand lands in one epoch and never builds a
+  /// promote streak). Background sources each move twice this, so the
+  /// background outlasts the hot job on the shared leg.
+  phy::DataSize hot_bytes = phy::DataSize::kilobytes(96);
+  /// kCarve: per-direction fraction carved for the promoted pair.
+  double carve_fraction = 0.6;
+  /// kSlotted: slots owned per frame period. The controller splits
+  /// the duty across the two parallel hot legs (multipath), so the
+  /// pair's aggregate share is duty/period spread over both links.
+  int slot_period = 8;
+  int slot_duty = 6;
+  /// kSlotted: fabric-level inactivity window after which a booked
+  /// schedule self-expires. The churn arm's wave gaps are tuned to
+  /// exceed this while staying inside the carve's demote window.
+  rsf::sim::SimTime slot_timeout = rsf::sim::SimTime::microseconds(30);
+};
+
+/// Aggregate view of one finished slotted-crossover run: the hot job
+/// against the background job, plus the regime-mechanics counters the
+/// ext11 sweep reports.
+struct SlottedScenarioResult {
+  CrossRackResult hot;
+  CrossRackResult background;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t schedule_splits = 0;
+  std::uint64_t slot_reservations = 0;
+  std::uint64_t slot_expirations = 0;
+  std::uint64_t slot_preemptions = 0;
+  std::uint64_t slot_refusals = 0;
+  std::uint64_t slotted_bytes = 0;
+  std::uint64_t reserved_bytes = 0;
+  std::uint64_t reservation_preemptions = 0;
+};
+
+/// Builds the fixed three-rack fleet for one (arm, regime) cell,
+/// drives the hot and background jobs to completion on one shared
+/// clock, and aggregates the result. Deterministic: same config and
+/// seed, byte-identical metrics (tested).
+class SlottedFleetScenario {
+ public:
+  explicit SlottedFleetScenario(SlottedScenarioConfig config);
+  ~SlottedFleetScenario();
+
+  SlottedFleetScenario(const SlottedFleetScenario&) = delete;
+  SlottedFleetScenario& operator=(const SlottedFleetScenario&) = delete;
+
+  /// Run the scenario to completion; call once.
+  SlottedScenarioResult run();
+
+  /// The underlying fleet (valid for the scenario's lifetime) — tests
+  /// byte-diff fleet().metrics_table() across seeds and workers.
+  [[nodiscard]] runtime::FleetRuntime& fleet() { return *fleet_; }
+
+  /// The hot transit pair every regime's policy promotes.
+  static constexpr std::uint32_t kHotSrcRack = 2;
+  static constexpr std::uint32_t kHotDstRack = 0;
+  /// The first parallel 1 <-> 0 leg (SpineLinkId 0) — the hot
+  /// primary's second hop, and the flap target.
+  static constexpr std::uint32_t kFlapLink = 0;
+
+ private:
+  SlottedScenarioConfig config_;
+  std::unique_ptr<runtime::FleetRuntime> fleet_;
+  bool ran_ = false;
+};
+
+}  // namespace rsf::workload

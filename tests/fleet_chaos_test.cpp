@@ -110,6 +110,40 @@ TEST_F(SrlgFixture, GroupTransitionsAreIdempotentEvenWithOverlap) {
   EXPECT_EQ(count("spine.links_restored"), 2u);
 }
 
+TEST_F(SrlgFixture, RepairOfAFullyShadowedCutIsAPureNoop) {
+  // Regression: two groups covering the same trench. Cut A takes both
+  // links down; cut B then takes nothing (every member already
+  // failed). Repairing B used to resurrect links the still-cut A
+  // holds; now it is a pure no-op — no link transition, no topology
+  // version bump, no route-cache flush — with its own counter so
+  // chaos timelines that emit one keep the phantom visible.
+  const auto l0 = add(0, 1);
+  const auto l1 = add(1, 2);
+  const auto ga = spine.add_shared_risk_group({l0, l1});
+  const auto gb = spine.add_shared_risk_group({l0, l1});
+
+  spine.set_group_up(ga, false);
+  spine.set_group_up(gb, false);  // shadowed: takes nothing down
+  EXPECT_EQ(count("spine.srlg_cuts"), 2u);
+  EXPECT_EQ(count("spine.links_failed"), 2u);
+
+  const std::uint64_t version_under_cut = spine.version();
+  spine.set_group_up(gb, true);
+  EXPECT_EQ(count("spine.srlg_noop_repairs"), 1u);
+  EXPECT_EQ(count("spine.srlg_repairs"), 0u);
+  EXPECT_FALSE(spine.link_up(l0));
+  EXPECT_FALSE(spine.link_up(l1));
+  EXPECT_EQ(spine.version(), version_under_cut);
+  EXPECT_EQ(count("spine.links_restored"), 0u);
+  EXPECT_FALSE(spine.route(0, 2).has_value());
+
+  // The group that actually took the trench down still repairs it.
+  spine.set_group_up(ga, true);
+  EXPECT_EQ(count("spine.srlg_repairs"), 1u);
+  EXPECT_TRUE(spine.link_up(l0) && spine.link_up(l1));
+  EXPECT_TRUE(spine.route(0, 2).has_value());
+}
+
 TEST_F(SrlgFixture, GroupRegistrationValidates) {
   const auto l0 = add(0, 1);
   EXPECT_THROW(spine.add_shared_risk_group({}), std::invalid_argument);

@@ -1,0 +1,74 @@
+// Property sweep: the determinism contract at fleet scope, stated as
+// a property over seeds rather than a hand-picked scenario. For every
+// seed, a run under the conservative-PDES drive (workers = 4) must
+// produce the byte-identical metrics table of the serial oracle
+// (workers = 1) — same packets, same retries, same controller
+// decisions, same counter values, across both scenario families that
+// stress the engine hardest: the chaos timeline (correlated failures,
+// flaps, loss, carve policy) and the slotted transport (calendar
+// bookings, expiry, multipath splits, weak flap events). The ctest
+// label `property` runs this suite on its own CI leg.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "phy/units.hpp"
+#include "runtime/fleet.hpp"
+#include "workload/chaos.hpp"
+#include "workload/slotted.hpp"
+
+namespace rsf {
+namespace {
+
+constexpr std::uint64_t kSeeds = 16;
+constexpr int kParallelWorkers = 4;
+
+TEST(FleetPropertySweep, ChaosRunsAreByteIdenticalAcrossWorkerCounts) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto run = [seed](int workers) {
+      workload::ChaosScenarioConfig cfg;
+      cfg.seed = seed;
+      cfg.workers = workers;
+      cfg.loss_prob = 0.01;
+      cfg.hot_bytes = phy::DataSize::kilobytes(48);
+      cfg.random.enable = true;
+      cfg.random.cuts = 2;
+      cfg.random.flap_cycles = 1;
+      workload::ChaosScenario scenario(cfg);
+      const workload::ChaosScenarioResult r = scenario.run();
+      // Every run must hold the invariant pair on its own before the
+      // cross-worker diff means anything.
+      EXPECT_TRUE(r.conservation_ok) << "seed " << seed << " workers " << workers;
+      EXPECT_TRUE(r.completed_before_horizon)
+          << "seed " << seed << " workers " << workers;
+      return scenario.fleet().metrics_table().to_string();
+    };
+    EXPECT_EQ(run(1), run(kParallelWorkers)) << "chaos seed " << seed;
+  }
+}
+
+TEST(FleetPropertySweep, SlottedRunsAreByteIdenticalAcrossWorkerCounts) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    // Cycle the arms so the sweep covers steady slots, per-wave
+    // expiry/re-promotion, and weak-event flap preemption.
+    const auto arm = static_cast<workload::SlottedArm>(seed % 3);
+    auto run = [seed, arm](int workers) {
+      workload::SlottedScenarioConfig cfg;
+      cfg.arm = arm;
+      cfg.regime = workload::SlottedRegime::kSlotted;
+      cfg.loss_prob = 0.005;
+      cfg.seed = seed;
+      cfg.workers = workers;
+      cfg.hot_bytes = phy::DataSize::kilobytes(48);
+      workload::SlottedFleetScenario scenario(cfg);
+      const workload::SlottedScenarioResult r = scenario.run();
+      EXPECT_GT(r.slot_reservations, 0u) << "seed " << seed << " workers " << workers;
+      return scenario.fleet().metrics_table().to_string();
+    };
+    EXPECT_EQ(run(1), run(kParallelWorkers)) << "slotted seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rsf

@@ -1,0 +1,373 @@
+// Spine slot schedules: the TDMA regime between the carve and the
+// packet FIFO. Slot-boundary wait and full-rate ride semantics,
+// all-or-nothing admission against third-party calendar overlap,
+// lease renewal on every slotted send with inactivity self-expiry,
+// failure-driven preemption with shared-path fallback for stale
+// handles, recycled-slot staleness, the controller's promote /
+// multipath-split / demote cycle over parallel legs, the
+// reservation-vs-schedule mutual-exclusivity guard, and the
+// slotted-scenario determinism anchor.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "fabric/interconnect.hpp"
+#include "fabric/slot_calendar.hpp"
+#include "runtime/fleet.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
+#include "workload/slotted.hpp"
+
+namespace rsf {
+namespace {
+
+using fabric::Interconnect;
+using fabric::SlotCalendar;
+using fabric::SpineLinkParams;
+using fabric::SpineScheduleHandle;
+using phy::DataSize;
+using rsf::sim::SimTime;
+using rsf::sim::Simulator;
+using runtime::FleetConfig;
+using runtime::FleetRuntime;
+using runtime::RackShape;
+using runtime::RackSpec;
+using runtime::RuntimeConfig;
+using runtime::SpineSpec;
+using namespace rsf::sim::literals;
+
+// ---------------------------------------------------------------------------
+// Interconnect-level semantics.
+// ---------------------------------------------------------------------------
+
+struct SlottedFixture : ::testing::Test {
+  Simulator sim;
+  telemetry::Registry registry;
+  Interconnect spine{&sim, &registry};
+
+  fabric::SpineLinkId add(std::uint32_t a, std::uint32_t b, double gbps = 8.0) {
+    SpineLinkParams p;
+    p.a = {a, 0};
+    p.b = {b, 0};
+    p.rate = phy::DataRate::gbps(gbps);
+    p.latency = SimTime::zero();  // keep the arithmetic bare
+    return spine.add_link(p);
+  }
+
+  /// Send one packet and run to completion; returns the arrival time.
+  SimTime send(fabric::SpineLinkId id, std::uint32_t from, std::int64_t bytes,
+               SpineScheduleHandle sched = {}) {
+    std::optional<SimTime> arrival;
+    EXPECT_TRUE(spine.send_packet(id, from, DataSize::bytes(bytes), sched,
+                                  [&](SimTime t, bool) { arrival = t; }));
+    sim.run_until();
+    EXPECT_TRUE(arrival.has_value());
+    return arrival.value_or(SimTime::zero());
+  }
+
+  std::uint64_t count(const std::string& name) { return spine.counters().get(name); }
+};
+
+TEST_F(SlottedFixture, WaitsForOwnedSlotsAndRidesThemAtFullRate) {
+  // 8 Gb/s, 1000-byte packet: 1 us at the full rate; slot duration is
+  // the default 1 us, so one packet fills exactly one slot.
+  const auto link = add(0, 1);
+  const auto sched = spine.reserve_slots(0, 1, 4, 1);
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_TRUE(spine.schedule_active(*sched));
+  // A fresh calendar books the first contention-free offsets: the
+  // pair owns offset 0 of every period — wall-clock [0, 1), [4, 5)...
+  EXPECT_EQ(spine.schedule_mask(*sched), SlotCalendar::periodic_mask(4, 0));
+  EXPECT_DOUBLE_EQ(spine.schedule_fraction(*sched), 0.25);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(link, 0), 0.25);
+  ASSERT_EQ(spine.schedule_route(*sched).size(), 1u);
+  EXPECT_EQ(spine.schedule_route(*sched)[0], link);
+
+  // Sent inside an owned slot: serializes immediately at the FULL
+  // link rate — 1 us — even though the pair owns only a quarter of
+  // the calendar. A shared packet alongside it sees the 0.75
+  // residual: the same bytes take 4/3 us.
+  std::optional<SimTime> shared_arrival;
+  spine.send_packet(link, 0, DataSize::bytes(1000),
+                    [&](SimTime t, bool) { shared_arrival = t; });
+  EXPECT_EQ(send(link, 0, 1000, *sched).ns(), 1000.0);
+  ASSERT_TRUE(shared_arrival.has_value());
+  EXPECT_EQ(shared_arrival->ps(), 1'333'333);
+  EXPECT_EQ(count("spine.slotted_bytes"), 1000u);
+
+  // The slotted lane is now busy until t = 1 us, the start of an
+  // unowned slot: the next slotted packet waits for the pair's next
+  // owned slot at 4 us and arrives at 5 us.
+  EXPECT_EQ(send(link, 0, 1000, *sched).us(), 5.0);
+  EXPECT_EQ(count("spine.slot_reservations"), 1u);
+}
+
+TEST_F(SlottedFixture, AdmissionIsAllOrNothingAcrossTheWholeRoute) {
+  const auto l01 = add(0, 1);
+  const auto l12 = add(1, 2);
+  // Stagger the two lines' occupancy so their free offsets misalign:
+  // l01 owns {0,1,2} via the neighbor pair, l12 owns {3,4,5} via a
+  // booked-then-released shift of the far pair.
+  const auto neighbor = spine.reserve_slots(0, 1, 8, 3);
+  ASSERT_TRUE(neighbor.has_value());
+  const auto far_first = spine.reserve_slots(1, 2, 8, 3);
+  const auto far_second = spine.reserve_slots(1, 2, 8, 3);
+  ASSERT_TRUE(far_first.has_value() && far_second.has_value());
+  EXPECT_EQ(spine.schedule_mask(*far_second), SlotCalendar::periodic_mask(8, 3) |
+                                                  SlotCalendar::periodic_mask(8, 4) |
+                                                  SlotCalendar::periodic_mask(8, 5));
+  spine.release_slots(*far_first);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(l01, 0), 0.375);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(l12, 1), 0.375);
+
+  // Headroom refusal: a schedule may never starve a direction's
+  // shared residual outright (duty 5 of 8 on a 0.375-slotted line).
+  EXPECT_FALSE(spine.reserve_slots(0, 1, 8, 5).has_value());
+  EXPECT_EQ(count("spine.slot_refusals"), 1u);
+
+  // Contention refusal is judged across the WHOLE route at once:
+  // each line has five free offsets, but only {6, 7} are free on
+  // both, so the transit pair's duty-4 ask is refused outright and no
+  // partial claim leaks onto either line.
+  EXPECT_FALSE(spine.reserve_slots(0, 2, 8, 4).has_value());
+  EXPECT_EQ(count("spine.slot_refusals"), 2u);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(l01, 0), 0.375);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(l12, 1), 0.375);
+  EXPECT_EQ(spine.schedule_count(), 2u);
+
+  // The duty that fits the shared free offsets is admitted on both
+  // hops simultaneously.
+  const auto transit = spine.reserve_slots(0, 2, 8, 2);
+  ASSERT_TRUE(transit.has_value());
+  EXPECT_EQ(spine.schedule_mask(*transit), SlotCalendar::periodic_mask(8, 6) |
+                                               SlotCalendar::periodic_mask(8, 7));
+  ASSERT_EQ(spine.schedule_route(*transit).size(), 2u);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(l01, 0), 0.625);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(l12, 1), 0.625);
+
+  // Shape validation mirrors the calendar's contract.
+  EXPECT_THROW(static_cast<void>(spine.reserve_slots(0, 1, 3, 1)),
+               std::invalid_argument);  // period must divide the frame
+  EXPECT_THROW(static_cast<void>(spine.reserve_slots(0, 1, 8, 9)),
+               std::invalid_argument);  // duty > period
+  // Unroutable pairs are refusals, not errors.
+  EXPECT_FALSE(spine.reserve_slots(0, 7, 4, 1).has_value());
+}
+
+TEST_F(SlottedFixture, SendsRenewTheLeaseAndInactivityExpiresIt) {
+  spine.set_slot_timeout(10_us);
+  const auto link = add(0, 1);
+  const auto sched = spine.reserve_slots(0, 1, 4, 2);
+  ASSERT_TRUE(sched.has_value());
+  const std::uint64_t booked_version = spine.schedule_version();
+
+  // A send every 6 us keeps the schedule alive well past 3x the
+  // 10 us inactivity window: every slotted send renews the lease.
+  for (const auto t : {0_us, 6_us, 12_us, 18_us, 24_us, 30_us}) {
+    sim.schedule_at(t, [this, link, sched] {
+      spine.send_packet(link, 0, DataSize::bytes(500), *sched,
+                        [](SimTime, bool) {});
+    });
+  }
+  // Sentinel keeps the simulator alive past the (weak) expiry event.
+  sim.schedule_at(60_us, [] {});
+  sim.run_until(35_us);
+  EXPECT_TRUE(spine.schedule_active(*sched));
+  EXPECT_EQ(count("spine.slot_expirations"), 0u);
+
+  // Then the pair goes quiet: 10 us after the last send the schedule
+  // self-expires — slots and residual return, the handle goes stale,
+  // and the version bumps so transports drop it without a lookup.
+  sim.run_until();
+  EXPECT_FALSE(spine.schedule_active(*sched));
+  EXPECT_EQ(count("spine.slot_expirations"), 1u);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(link, 0), 0.0);
+  EXPECT_EQ(spine.schedule_count(), 0u);
+  EXPECT_GT(spine.schedule_version(), booked_version);
+}
+
+TEST_F(SlottedFixture, LinkFailurePreemptsAndStaleHandlesFallBackShared) {
+  add(0, 1);
+  const auto l12 = add(1, 2);
+  const auto sched = spine.reserve_slots(0, 2, 4, 2);
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(0, 0), 0.5);
+
+  // A failed link on the route preempts the whole schedule: capacity
+  // returns on the surviving hop too, and the preemption is counted.
+  spine.set_link_up(l12, false);
+  EXPECT_FALSE(spine.schedule_active(*sched));
+  EXPECT_EQ(count("spine.slot_preemptions"), 1u);
+  EXPECT_DOUBLE_EQ(spine.slotted_fraction(0, 0), 0.0);
+
+  // Traffic still holding the stale handle rides the shared FIFO of
+  // the surviving link at the full rate instead of erroring.
+  EXPECT_EQ(send(0, 0, 1000, *sched).ns(), 1000.0);
+  EXPECT_EQ(count("spine.slotted_bytes"), 0u);
+
+  // Releasing a stale handle is an idempotent no-op.
+  spine.release_slots(*sched);
+  EXPECT_EQ(count("spine.slot_releases"), 0u);
+}
+
+TEST_F(SlottedFixture, RecycledScheduleSlotsStaleifyOldHandles) {
+  add(0, 1);
+  const auto first = spine.reserve_slots(0, 1, 4, 1);
+  ASSERT_TRUE(first.has_value());
+  spine.release_slots(*first);
+  EXPECT_EQ(count("spine.slot_releases"), 1u);
+  // The next booking reuses the slot with a bumped generation: the
+  // old handle stays stale and its accessors throw.
+  const auto second = spine.reserve_slots(1, 0, 4, 1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, first->id);
+  EXPECT_NE(second->generation, first->generation);
+  EXPECT_FALSE(spine.schedule_active(*first));
+  EXPECT_TRUE(spine.schedule_active(*second));
+  EXPECT_THROW(static_cast<void>(spine.schedule_route(*first)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(spine.schedule_mask(*first)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level: the controller's schedule policy.
+// ---------------------------------------------------------------------------
+
+RuntimeConfig rack_config() {
+  RuntimeConfig cfg;
+  cfg.shape = RackShape::kGrid;
+  cfg.rack.width = 4;
+  cfg.rack.height = 4;
+  cfg.enable_crc = false;
+  return cfg;
+}
+
+/// Two racks over two parallel spine links; the controller runs the
+/// schedule policy with fast hysteresis and multipath splitting.
+FleetConfig schedule_fleet(bool schedules) {
+  FleetConfig fc;
+  fc.racks.push_back(RackSpec{rack_config(), 0});
+  fc.racks.push_back(RackSpec{rack_config(), 0});
+  for (int i = 0; i < 2; ++i) {
+    SpineSpec s;
+    s.rack_a = 0;
+    s.rack_b = 1;
+    s.rate = phy::DataRate::gbps(10);
+    fc.spine.push_back(s);
+  }
+  fc.enable_controller = true;
+  fc.controller.epoch = 20_us;
+  fc.controller.schedules.enable = schedules;
+  fc.controller.schedules.period = 4;
+  fc.controller.schedules.duty = 2;
+  fc.controller.schedules.hot_bytes_per_epoch = 8 * 1024;
+  fc.controller.schedules.idle_bytes_per_epoch = 1024;
+  fc.controller.schedules.promote_after = 2;
+  fc.controller.schedules.demote_after = 3;
+  fc.controller.schedules.multipath = true;
+  return fc;
+}
+
+TEST(FleetSchedulePolicy, PromotesHotPairsSplitsLegsAndDemotesIdleOnes) {
+  FleetRuntime fleet(schedule_fleet(true));
+  // Keep the fabric's own inactivity expiry out of the way: this test
+  // pins the demotion on the controller's idle hysteresis.
+  fleet.spine().set_slot_timeout(100'000_us);
+  std::optional<runtime::FleetFlowResult> result;
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 3, 3);
+  spec.dst = fleet.at(1, 0, 0);
+  spec.size = DataSize::megabytes(1);  // many epochs hot on 2 x 10G
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.start();
+  fleet.run_until();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->failed);
+  // The pair went hot, was promoted once, and its duty was split into
+  // two schedules across the parallel legs; packets rode the slots on
+  // both links.
+  EXPECT_EQ(fleet.controller().promotions(), 1u);
+  EXPECT_EQ(fleet.controller().counters().get("fleet.schedule_splits"), 1u);
+  EXPECT_EQ(fleet.spine().find_schedules(0, 1).size(), 2u);
+  EXPECT_GT(fleet.spine().counters().get("spine.slotted_bytes"), 0u);
+  EXPECT_GT(fleet.spine().link_packets(0, 0), 0u);
+  EXPECT_GT(fleet.spine().link_packets(1, 0), 0u);
+  // Hysteresis: demote_after consecutive idle epochs return every leg.
+  EXPECT_EQ(fleet.controller().demotions(), 0u);
+  fleet.run_until(fleet.now() + 200_us);
+  EXPECT_EQ(fleet.controller().demotions(), 1u);
+  EXPECT_TRUE(fleet.spine().find_schedules(0, 1).empty());
+  EXPECT_EQ(fleet.spine().schedule_count(), 0u);
+  EXPECT_EQ(fleet.spine().counters().get("spine.slot_releases"), 2u);
+  fleet.stop();
+}
+
+TEST(FleetSchedulePolicy, PolicyOffNeverTouchesTheCalendar) {
+  FleetRuntime fleet(schedule_fleet(false));
+  std::optional<runtime::FleetFlowResult> result;
+  runtime::FleetFlowSpec spec;
+  spec.src = fleet.at(0, 3, 3);
+  spec.dst = fleet.at(1, 0, 0);
+  spec.size = DataSize::megabytes(1);
+  fleet.start_flow(spec, [&](const runtime::FleetFlowResult& r) { result = r; });
+  fleet.start();
+  fleet.run_until();
+  fleet.stop();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(fleet.controller().promotions(), 0u);
+  EXPECT_EQ(fleet.spine().schedule_count(), 0u);
+  EXPECT_EQ(fleet.spine().schedule_version(), 0u);
+  EXPECT_EQ(fleet.spine().counters().get("spine.slotted_bytes"), 0u);
+}
+
+TEST(FleetSchedulePolicy, ReservationAndSchedulePoliciesAreMutuallyExclusive) {
+  // A pair holding both a carve and a slot schedule would
+  // double-subtract from the shared residual: the controller refuses
+  // the configuration outright.
+  FleetConfig fc = schedule_fleet(true);
+  fc.controller.reservations.enable = true;
+  EXPECT_THROW(FleetRuntime bad(fc), std::invalid_argument);
+  fc.controller.reservations.enable = false;
+  fc.controller.schedules.period = 3;  // does not divide the frame
+  EXPECT_THROW(FleetRuntime bad(fc), std::invalid_argument);
+  fc.controller.schedules.period = 4;
+  fc.controller.schedules.duty = 5;  // duty > period
+  EXPECT_THROW(FleetRuntime bad(fc), std::invalid_argument);
+  fc.controller.schedules.duty = 2;
+  fc.controller.schedules.promote_after = 0;
+  EXPECT_THROW(FleetRuntime bad(fc), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario determinism anchor (the heavy seed sweep lives in the
+// property suite).
+// ---------------------------------------------------------------------------
+
+TEST(SlottedFleetScenario, SameSeedRunsAreByteIdenticalInEveryArm) {
+  for (const auto arm : {workload::SlottedArm::kSkew, workload::SlottedArm::kChurn,
+                         workload::SlottedArm::kFlap}) {
+    workload::SlottedScenarioConfig cfg;
+    cfg.arm = arm;
+    cfg.regime = workload::SlottedRegime::kSlotted;
+    cfg.loss_prob = 0.005;  // exercise the spine RNG too
+    cfg.hot_bytes = DataSize::kilobytes(48);
+    workload::SlottedFleetScenario a(cfg);
+    const auto ra = a.run();
+    workload::SlottedFleetScenario b(cfg);
+    const auto rb = b.run();
+    EXPECT_EQ(ra.hot.job_completion.ps(), rb.hot.job_completion.ps());
+    EXPECT_EQ(ra.background.job_completion.ps(), rb.background.job_completion.ps());
+    EXPECT_EQ(ra.promotions, rb.promotions);
+    EXPECT_EQ(ra.slot_reservations, rb.slot_reservations);
+    EXPECT_EQ(ra.slotted_bytes, rb.slotted_bytes);
+    EXPECT_EQ(a.fleet().metrics_table().to_string(),
+              b.fleet().metrics_table().to_string());
+    // The slotted regime actually engaged.
+    EXPECT_GT(ra.slot_reservations, 0u);
+    EXPECT_GT(ra.slotted_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rsf

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Line-coverage gate (run by the CI coverage job, and locally any
+# time):
+#
+#   1. configure a dedicated build with RSF_COVERAGE=ON (gcov
+#      instrumentation at -O0) and run the whole ctest suite;
+#   2. aggregate gcov's per-TU JSON into per-component line coverage
+#      for src/ (a header's line counts as covered if ANY including TU
+#      covers it);
+#   3. compare against the floors committed in
+#      tools/coverage_baseline.txt and fail on any regression.
+#
+# The floors are a ratchet, not a target: they sit a few points under
+# the measured coverage so unrelated churn doesn't flake the gate, and
+# they move up when a PR meaningfully lifts a component. The full
+# report lands in <build>/coverage-report.txt for the CI artifact.
+#
+# Plain gcov + python3 only — no lcov/gcovr dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-coverage}"
+BASELINE="tools/coverage_baseline.txt"
+
+cmake -B "$BUILD_DIR" -S . -DRSF_COVERAGE=ON \
+  -DRSF_BUILD_BENCHES=OFF -DRSF_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" >/dev/null
+(cd "$BUILD_DIR" && ctest -j"$(nproc)" --timeout 600 --output-on-failure >/dev/null)
+
+# One single-line JSON document per object file, all appended to one
+# report; -t keeps gcov off the filesystem.
+report="$BUILD_DIR/coverage-gcov.jsonl"
+: > "$report"
+find "$BUILD_DIR" -name '*.gcda' -print0 |
+  xargs -0 -n 32 gcov -t --json-format >> "$report"
+
+python3 - "$report" "$BASELINE" "$BUILD_DIR/coverage-report.txt" <<'EOF'
+import collections
+import json
+import os
+import sys
+
+report_path, baseline_path, out_path = sys.argv[1:4]
+root = os.getcwd()
+
+# (file, line) -> ever covered. Headers are compiled into many TUs
+# with independent counts; a line is covered if any TU covered it.
+line_hit = {}
+with open(report_path) as report:
+    for doc in report:
+        doc = doc.strip()
+        if not doc:
+            continue
+        for f in json.loads(doc)["files"]:
+            path = os.path.relpath(os.path.join(root, f["file"]), root)
+            if not path.startswith("src/"):
+                continue
+            for ln in f["lines"]:
+                key = (path, ln["line_number"])
+                line_hit[key] = line_hit.get(key, False) or ln["count"] > 0
+
+if not line_hit:
+    sys.exit("check_coverage: no src/ lines in the gcov report — "
+             "was the build configured with RSF_COVERAGE=ON?")
+
+scopes = collections.defaultdict(lambda: [0, 0])  # scope -> [hit, total]
+for (path, _), hit in line_hit.items():
+    component = "/".join(path.split("/")[:2])  # src/<component>
+    for scope in ("overall", component):
+        scopes[scope][1] += 1
+        scopes[scope][0] += hit
+
+floors = {}
+with open(baseline_path) as baseline:
+    for raw in baseline:
+        raw = raw.split("#", 1)[0].strip()
+        if raw:
+            scope, floor = raw.split()
+            floors[scope] = float(floor)
+
+lines = [f"{'scope':<16} {'lines':>8} {'covered':>8} {'pct':>7}  floor"]
+failed = []
+for scope in sorted(scopes, key=lambda s: (s != "overall", s)):
+    hit, total = scopes[scope]
+    pct = 100.0 * hit / total
+    floor = floors.get(scope)
+    mark = ""
+    if floor is not None and pct < floor:
+        mark = "  << BELOW FLOOR"
+        failed.append(scope)
+    lines.append(f"{scope:<16} {total:>8} {hit:>8} {pct:>6.1f}%  "
+                 f"{'-' if floor is None else floor}{mark}")
+for scope in floors:
+    if scope not in scopes:
+        failed.append(scope)
+        lines.append(f"{scope:<16} {'-':>8} {'-':>8} {'-':>7}  "
+                     f"{floors[scope]}  << SCOPE MISSING")
+
+text = "\n".join(lines)
+print(text)
+with open(out_path, "w") as out:
+    out.write(text + "\n")
+if failed:
+    sys.exit(f"check_coverage: below baseline floor: {', '.join(failed)}")
+print("check_coverage: all floors hold")
+EOF
