@@ -53,15 +53,21 @@ void Network::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
       static_cast<std::uint64_t>(spec.size.packet_count(spec.packet_size));
   // Claim a slot from the pool (a drained slot when one is free —
   // bounded pool under flow churn — else the dense pool grows).
-  const std::uint32_t idx = flows_.claim().index;
+  const auto handle = flows_.claim();
+  const std::uint32_t idx = handle.index;
   flows_[idx] = std::move(state);
   flow_index_.emplace(spec.id, idx);
   counters_.add("net.flows_started");
-  // A start time already in the past means "now".
-  sim_->schedule_at(std::max(spec.start, sim_->now()), [this, idx] {
-    flows_[idx].started = sim_->now();
-    pump_flow(idx);
-  });
+  // A start time already in the past means "now". The start event can
+  // outlive the slot (a zero-packet flow drains and recycles before a
+  // deferred start fires), so it carries the claim generation and
+  // evaporates against a reused slot instead of starting a stranger.
+  sim_->schedule_at(std::max(spec.start, sim_->now()),
+                    [this, idx, gen = handle.generation] {
+                      if (!flows_.is_live(idx, gen)) return;
+                      flows_[idx].started = sim_->now();
+                      pump_flow(idx);
+                    });
 }
 
 void Network::pump_flow(std::uint32_t flow_idx) {

@@ -396,5 +396,79 @@ TEST_F(NetFixture, FailedFlowSlotRecyclesOnlyAfterStragglersDrain) {
   EXPECT_EQ(rack.network->free_flow_slots(), rack.network->flow_slots());
 }
 
+TEST_F(NetFixture, DeferredStartFiresAtStartTimeOnAFreshSlot) {
+  // A spec.start in the future defers the first packet; the start
+  // event must fire exactly then, not at schedule time.
+  FlowSpec spec;
+  spec.id = 1;
+  spec.src = 0;
+  spec.dst = 5;
+  spec.size = DataSize::kilobytes(8);
+  spec.start = SimTime::microseconds(50);
+  std::optional<FlowResult> result;
+  rack.network->start_flow(spec, [&](const FlowResult& r) { result = r; });
+  sim.run_until();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->started, SimTime::microseconds(50));
+}
+
+TEST_F(NetFixture, DeferredStartOnRecycledSlotCarriesItsOwnGeneration) {
+  // Regression for the start-flow slot guard: the deferred start event
+  // captures the claim generation and validates it with is_live before
+  // touching the slot. The guard must evaporate only for a genuinely
+  // recycled slot — a deferred start scheduled against a RE-CLAIMED
+  // slot (same index, newer generation) belongs to the new flow and
+  // must still fire. Churn waves of completed flows followed by
+  // deferred starts exercise exactly that reuse: with the generation
+  // captured at claim each wave starts and completes; a guard keyed on
+  // anything staler would silently strand every reused slot.
+  const auto run_wave = [&](FlowId base, SimTime start_at) {
+    int completed = 0;
+    for (FlowId id = base; id < base + 4; ++id) {
+      FlowSpec spec;
+      spec.id = id;
+      spec.src = 0;
+      spec.dst = 15;
+      spec.size = DataSize::kilobytes(8);
+      spec.start = start_at;
+      rack.network->start_flow(spec, [&](const FlowResult& r) {
+        EXPECT_FALSE(r.failed);
+        EXPECT_EQ(r.started, std::max(start_at, SimTime::zero()));
+        ++completed;
+      });
+    }
+    sim.run_until();
+    EXPECT_EQ(completed, 4);
+  };
+
+  run_wave(1, SimTime::zero());  // wave 1: claims slots 0..3, recycles them
+  EXPECT_EQ(rack.network->free_flow_slots(), rack.network->flow_slots());
+  // Wave 2 re-claims the same four slots with deferred starts; each
+  // start event must see ITS claim live, not the recycled wave-1 one.
+  run_wave(11, sim.now() + SimTime::microseconds(25));
+  EXPECT_EQ(rack.network->flows_completed(), 8u);
+  EXPECT_EQ(rack.network->free_flow_slots(), rack.network->flow_slots());
+
+  // Third wave mixes deferred and immediate starts on the reused
+  // slots within one batch of claims.
+  int completed = 0;
+  for (FlowId id = 21; id <= 24; ++id) {
+    FlowSpec spec;
+    spec.id = id;
+    spec.src = 0;
+    spec.dst = 15;
+    spec.size = DataSize::kilobytes(8);
+    if (id % 2 == 0) spec.start = sim.now() + SimTime::microseconds(40);
+    rack.network->start_flow(spec, [&](const FlowResult& r) {
+      EXPECT_FALSE(r.failed);
+      ++completed;
+    });
+  }
+  sim.run_until();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(rack.network->flows_completed(), 12u);
+}
+
 }  // namespace
 }  // namespace rsf::fabric
