@@ -11,7 +11,6 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
 #include "core/observations.hpp"
 #include "phy/fec.hpp"

@@ -61,6 +61,7 @@ class PriceBook {
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
  private:
+  // rsf-lint: order-insensitive(rebuilt wholesale per epoch, read by per-link point lookup only)
   std::unordered_map<phy::LinkId, double> prices_;
   std::uint64_t generation_ = 0;
 };

@@ -38,6 +38,7 @@ void ControlRing::circulate(SimTime epoch_length, SnapshotCallback cb) {
                                 collect_node(node, epoch_length, snap.get());
                               });
   }
+  // rsf-lint: cold-event(one snapshot completion per epoch; the shared_ptr + callback captures cannot be trivially copyable)
   sim_->schedule_weak_after(per_node * static_cast<std::int64_t>(n),
                        [this, snap, cb = std::move(cb)] {
                          snap->taken_at = sim_->now();

@@ -238,6 +238,7 @@ void Network::deliver(const Packet& pkt, SimTime when) {
     ++delivered_slot_;
     if (pkt.probe_idx >= 0) {
       const auto slot = static_cast<std::uint32_t>(pkt.probe_idx);
+      // rsf-lint: unguarded-slot-ok(a probe slot has exactly one in-flight packet and recycles only here, at its terminal callback)
       auto cb = std::move(probes_[slot].cb);
       probes_.recycle(slot);  // before the callback: chained probes reuse it
       if (cb) cb(when - pkt.injected, pkt.hops, true);

@@ -228,7 +228,8 @@ class Network {
   // at their terminal callback.
   core::SlotPool<FlowState, std::uint64_t, FlowDrained> flows_;
   core::SlotPool<ProbeState> probes_;
-  std::unordered_map<FlowId, std::uint32_t> flow_index_;  // cold: start_flow only
+  // rsf-lint: order-insensitive(cold point lookups at start_flow/recycle; never iterated)
+  std::unordered_map<FlowId, std::uint32_t> flow_index_;
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_failed_ = 0;

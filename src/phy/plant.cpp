@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -435,7 +436,9 @@ std::vector<int> PhysicalPlant::free_lanes(CableId cable_id) const {
 }
 
 std::string PhysicalPlant::validate() const {
-  std::unordered_map<LaneRef, LinkId> recomputed;
+  // Ordered on purpose: validate() is cold (debug/test only) and the
+  // error it returns must not depend on hash iteration order.
+  std::map<LaneRef, LinkId> recomputed;
   for (LinkId id = 0; id < links_.size(); ++id) {
     const auto& l = links_[id];
     if (!l) continue;

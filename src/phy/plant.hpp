@@ -205,6 +205,7 @@ class PhysicalPlant {
   // skips them (and stays sorted for deterministic iteration).
   std::vector<std::unique_ptr<LogicalLink>> links_;
   std::size_t link_count_ = 0;
+  // rsf-lint: order-insensitive(point lookups only — lane_owner()/free_lanes() probe by key, never iterate)
   std::unordered_map<LaneRef, LinkId> lane_owner_;
   LinkId next_link_id_ = 0;
 };

@@ -421,6 +421,7 @@ void FleetRuntime::packet_rack_leg(std::uint32_t pkt_idx, phy::NodeId to) {
       pkt.at.node, to, pkt.size,
       [this, rack, pkt_idx](SimTime, int, bool delivered) {
         defer_rack(rack, [this, pkt_idx, delivered] {
+          // rsf-lint: unguarded-slot-ok(each packet slot has exactly one in-flight event; release happens only inside it)
           FleetPacket& p = packets_[pkt_idx];
           const FleetFlowState* f = live_flow(p);
           if (f == nullptr || f->done) {
@@ -443,6 +444,7 @@ void FleetRuntime::packet_spine_hop(std::uint32_t pkt_idx) {
   const fabric::SpineLinkId hop = (*pkt.path)[pkt.next_hop];
   const std::uint32_t from_rack = pkt.at.rack;
   const auto on_hop = [this, pkt_idx](SimTime, bool delivered) {
+    // rsf-lint: unguarded-slot-ok(each packet slot has exactly one in-flight event; release happens only inside it)
     FleetPacket& p = packets_[pkt_idx];
     const FleetFlowState* f = live_flow(p);
     if (f == nullptr || f->done) {

@@ -1,0 +1,14 @@
+// D0 fixture: annotation hygiene. Both a malformed escape (empty
+// reason) and an unknown directive must be flagged — a suppression
+// that silently does nothing is worse than none. The code the
+// annotations sit on is deliberately clean so only D0 fires.
+
+#include <map>
+
+struct BadAnnotations {
+  // rsf-lint: order-insensitive()
+  std::map<int, int> empty_reason_;
+
+  // rsf-lint: because-i-said-so(the reviewer was asleep)
+  std::map<int, int> unknown_directive_;
+};

@@ -1,0 +1,31 @@
+// D1 fixture: every nondeterminism source the rule names. Simulation
+// code must draw randomness from the seeded sim::Random and time from
+// SimTime; all of these leak host state into results.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+std::uint64_t entropy_from_hardware() {
+  std::random_device rd;
+  return rd();
+}
+
+long long wall_clock_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int c_library_randomness() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand();
+}
+
+std::uintptr_t pointer_as_key(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+struct PtrHasher {
+  std::hash<const int*> h;
+};

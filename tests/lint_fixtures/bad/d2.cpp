@@ -1,0 +1,22 @@
+// D2 fixture: unordered containers with no order-insensitivity
+// justification — the declaration itself, a range-for, and an
+// iterator-style loop must each be flagged.
+
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, double> scores_;
+
+  double sum() const {
+    double total = 0;
+    for (const auto& [key, value] : scores_) {
+      total += value;
+    }
+    return total;
+  }
+
+  double first() const {
+    auto it = scores_.begin();
+    return it->second;
+  }
+};

@@ -1,0 +1,32 @@
+// D3 fixture: a scheduled lambda captures a SlotPool index and
+// dereferences the slot without re-establishing liveness. By the time
+// the event fires the slot may have been recycled to a new occupant.
+
+#include <cstdint>
+
+#include "core/slot_pool.hpp"
+
+namespace fixture {
+
+struct Flow {
+  long started = 0;
+};
+
+struct Scheduler {
+  template <typename F>
+  void schedule_at(long when, F fn);
+};
+
+struct Runtime {
+  Scheduler sched_;
+  rsf::core::SlotPool<Flow> flows_;
+
+  void start(long when) {
+    const std::uint32_t idx = flows_.claim().index;
+    sched_.schedule_at(when, [this, idx] {
+      flows_[idx].started = 1;
+    });
+  }
+};
+
+}  // namespace fixture

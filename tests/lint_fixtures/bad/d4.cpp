@@ -1,0 +1,20 @@
+// D4 fixture: events that silently ride the cold std::function arm.
+// Both shapes must be flagged: a lambda that captures a std::function
+// by value, and a std::function variable passed straight to a
+// schedule call.
+
+#include <functional>
+
+namespace fixture {
+
+struct Scheduler {
+  template <typename F>
+  void schedule_at(long when, F fn);
+};
+
+void schedule_cold(Scheduler& sched, std::function<void()> cb) {
+  sched.schedule_at(5, [cb] { cb(); });
+  sched.schedule_at(9, cb);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// D5 fixture: a metric literal that docs/METRICS.md (here the fixture
+// metrics_doc.md) does not document. D5 has no annotation escape —
+// the only fix is documenting the counter — so the nondet-ok escape
+// below must change nothing.
+
+namespace fixture {
+
+struct Counters {
+  void add(const char* name);
+};
+
+void record(Counters& c) {
+  // rsf-lint: nondet-ok(annotations cannot waive D5)
+  c.add("net.undocumented_counter");
+}
+
+}  // namespace fixture

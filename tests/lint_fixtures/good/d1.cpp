@@ -1,0 +1,32 @@
+// D1 fixture (clean): randomness from the seeded simulation RNG,
+// time from SimTime, and the one legitimate wall-clock use carries a
+// nondet-ok annotation because it never reaches simulation state.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+
+namespace fixture {
+
+struct Random {
+  explicit Random(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ = state_ * 6364136223846793005ULL + 1; }
+  std::uint64_t state_;
+};
+
+struct Sim {
+  long now() const { return now_; }
+  long now_ = 0;
+};
+
+std::uint64_t draw(Random& rng) { return rng.next(); }
+
+void progress_log() {
+  // rsf-lint: nondet-ok(feeds the operator progress line on stderr only, never simulation state)
+  const auto t0 = std::chrono::steady_clock::now();
+  // rsf-lint: nondet-ok(same progress line; wall time never reaches simulation state)
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cerr << "elapsed " << (t1 - t0).count() << "\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// D2 fixture (clean): the ordered default, plus an unordered map whose
+// declaration and iteration both carry the order-insensitivity reason.
+
+#include <map>
+#include <unordered_map>
+
+struct Table {
+  std::map<int, double> ordered_scores_;
+  // rsf-lint: order-insensitive(commutative sum over values; keys never observed)
+  std::unordered_map<int, double> cache_;
+
+  double sum() const {
+    double total = 0;
+    for (const auto& [key, value] : ordered_scores_) total += value;
+    // rsf-lint: order-insensitive(addition over doubles drawn from exact integers — commutative here)
+    for (const auto& [key, value] : cache_) total += value;
+    return total;
+  }
+};

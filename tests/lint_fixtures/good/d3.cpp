@@ -1,0 +1,42 @@
+// D3 fixture (clean): the canonical generation-guard pattern — the
+// lambda carries the claim generation and re-establishes liveness
+// before touching the slot — plus the annotated single-owner escape.
+
+#include <cstdint>
+
+#include "core/slot_pool.hpp"
+
+namespace fixture {
+
+struct Flow {
+  long started = 0;
+};
+
+struct Scheduler {
+  template <typename F>
+  void schedule_at(long when, F fn);
+};
+
+struct Runtime {
+  Scheduler sched_;
+  rsf::core::SlotPool<Flow> flows_;
+
+  void start(long when) {
+    const auto handle = flows_.claim();
+    const std::uint32_t idx = handle.index;
+    sched_.schedule_at(when, [this, idx, gen = handle.generation] {
+      if (!flows_.is_live(idx, gen)) return;
+      flows_[idx].started = 1;
+    });
+  }
+
+  void terminal(long when, std::uint32_t idx) {
+    sched_.schedule_at(when, [this, idx] {
+      // rsf-lint: unguarded-slot-ok(single in-flight event per slot; recycled only here)
+      flows_[idx].started = 2;
+      flows_.recycle(idx);
+    });
+  }
+};
+
+}  // namespace fixture

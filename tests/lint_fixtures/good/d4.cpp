@@ -1,0 +1,45 @@
+// D4 fixture (clean): the three sanctioned shapes — a lambda pinned
+// inline by static_assert(is_inline_event_v<...>), a SmallFunction
+// alias (trivially copyable, inline-arm eligible), and a genuinely
+// cold event carrying the cold-event annotation.
+
+#include <functional>
+#include <type_traits>
+
+namespace fixture {
+
+template <typename F>
+inline constexpr bool is_inline_event_v = std::is_trivially_copyable_v<F>;
+
+namespace core {
+template <typename Sig>
+struct SmallFunction {
+  void operator()() const {}
+};
+}  // namespace core
+
+struct Scheduler {
+  template <typename F>
+  void schedule_at(long when, F fn);
+};
+
+using Callback = core::SmallFunction<void()>;
+
+void schedule_hot(Scheduler& sched, int x) {
+  const auto ev = [x] { (void)x; };
+  static_assert(is_inline_event_v<decltype(ev)>);
+  sched.schedule_at(5, ev);
+}
+
+// The parameter deliberately does not share a name with schedule_cold's
+// std::function: the symbol table is name-based within a file stem.
+void schedule_small(Scheduler& sched, Callback small_cb) {
+  sched.schedule_at(7, small_cb);
+}
+
+void schedule_cold(Scheduler& sched, std::function<void()> cb) {
+  // rsf-lint: cold-event(epoch rollover bookkeeping, fires once per epoch)
+  sched.schedule_at(9, cb);
+}
+
+}  // namespace fixture

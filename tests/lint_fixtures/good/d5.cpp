@@ -1,0 +1,17 @@
+// D5 fixture (clean): documented counters, including the link<N>
+// normalization (link7 in code matches link<N> in the doc), and a
+// non-metric string the rule must ignore.
+
+namespace fixture {
+
+struct Counters {
+  void add(const char* name);
+};
+
+void record(Counters& c) {
+  c.add("net.documented_counter");
+  c.add("fleet.link7.util");
+  c.add("not a metric at all");
+}
+
+}  // namespace fixture

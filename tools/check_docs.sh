@@ -6,12 +6,11 @@
 #   2. every registry metric name mentioned in src/ is documented in
 #      docs/METRICS.md — new counters must land with their docs.
 #
-# Metric extraction is the quoted dotted-name convention every
-# component follows ("net.retransmits", "spine.reserved_bytes", ...).
-# Dynamic names are covered by substring matching: a prefix builder
-# like "net.drops." passes when METRICS.md documents any expansion of
-# it, and per-link names normalize link<digits> to the documented
-# link<N> pattern.
+# Part 2 is rsf-lint rule D5 (tools/lint/): the lint pass owns the
+# quoted dotted-name convention ("net.retransmits", ...), the link<N>
+# normalization and the substring match, so this script delegates to
+# it — an existing build-tree binary when one is around, else a
+# throwaway compile of the dependency-free token frontend.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 fail=0
@@ -32,15 +31,23 @@ for doc in README.md docs/*.md; do
            grep -vE '^(https?:|mailto:|#)' || true)
 done
 
-# --- 2. metric coverage ---
-while IFS= read -r name; do
-  norm=$(echo "$name" | sed -E 's/link[0-9]+/link<N>/')
-  if ! grep -qF "$norm" docs/METRICS.md; then
-    echo "UNDOCUMENTED METRIC: \"$name\" appears in src/ but not in docs/METRICS.md"
-    fail=1
+# --- 2. metric coverage (rsf-lint rule D5) ---
+lint_bin=""
+for candidate in build/tools/lint/rsf-lint build*/tools/lint/rsf-lint; do
+  if [ -x "$candidate" ]; then
+    lint_bin="$candidate"
+    break
   fi
-done < <(grep -rhoE '"(net|crc|spine|fleet|plp|chaos)\.[a-zA-Z0-9_.-]*"' src/ \
-           --include='*.cpp' --include='*.hpp' | tr -d '"' | sort -u)
+done
+if [ -z "$lint_bin" ]; then
+  lint_bin=$(mktemp -t rsf-lint.XXXXXX)
+  trap 'rm -f "$lint_bin"' EXIT
+  c++ -std=c++20 -O1 -o "$lint_bin" \
+      tools/lint/lexer.cpp tools/lint/rules.cpp tools/lint/main.cpp
+fi
+if ! "$lint_bin" --rule D5 --metrics-doc docs/METRICS.md --src-root src; then
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

@@ -1,0 +1,144 @@
+// rsf-lint — optional libclang (C API) cross-check frontend.
+//
+// Built only when the RSF_LINT_WITH_LIBCLANG CMake option finds
+// clang-c/Index.h and libclang; the token frontend in rules.cpp is
+// the canonical, dependency-free engine and the one the fixture suite
+// gates. This frontend re-derives the D2 loop rule from a real AST
+// (range-for statements whose range expression has an unordered
+// container type) and reports TUs that fail to parse, catching the
+// false-negative modes a token scan cannot see (iteration through a
+// reference or an auto& alias bound to an unordered member).
+//
+// Findings carry the same D2 rule id and flow through the same
+// baseline/annotation machinery in main.cpp.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <clang-c/CXCompilationDatabase.h>
+#include <clang-c/Index.h>
+
+#include "rules.hpp"
+
+namespace rsflint {
+
+namespace {
+
+std::string cx_to_string(CXString s) {
+  const char* c = clang_getCString(s);
+  std::string out = c != nullptr ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+struct VisitCtx {
+  std::vector<Finding>* findings;
+  std::string file;
+};
+
+CXChildVisitResult visit(CXCursor cursor, CXCursor /*parent*/, CXClientData data) {
+  auto* ctx = static_cast<VisitCtx*>(data);
+  if (clang_getCursorKind(cursor) == CXCursor_CXXForRangeStmt) {
+    // The range expression is the last child before the body; its
+    // canonical type spelling names the container.
+    CXType type = clang_getCursorType(cursor);
+    (void)type;
+    CXSourceLocation loc = clang_getCursorLocation(cursor);
+    unsigned line = 0;
+    CXFile cxfile;
+    clang_getSpellingLocation(loc, &cxfile, &line, nullptr, nullptr);
+    const std::string at_file = cx_to_string(clang_getFileName(cxfile));
+    if (at_file != ctx->file) return CXChildVisit_Recurse;  // from an #include
+
+    struct RangeProbe {
+      bool unordered = false;
+    } probe;
+    clang_visitChildren(
+        cursor,
+        [](CXCursor child, CXCursor, CXClientData d) {
+          auto* p = static_cast<RangeProbe*>(d);
+          CXType t = clang_getCanonicalType(clang_getCursorType(child));
+          const std::string spelling = cx_to_string(clang_getTypeSpelling(t));
+          if (spelling.find("unordered_map") != std::string::npos ||
+              spelling.find("unordered_set") != std::string::npos ||
+              spelling.find("unordered_multimap") != std::string::npos ||
+              spelling.find("unordered_multiset") != std::string::npos) {
+            p->unordered = true;
+          }
+          return CXChildVisit_Break;  // first child is the range init expr
+        },
+        &probe);
+    if (probe.unordered) {
+      ctx->findings->push_back(Finding{
+          "D2", ctx->file, static_cast<int>(line),
+          "AST cross-check: range-for over an unordered container (libclang frontend)",
+          ""});
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+}  // namespace
+
+int clang_cross_check(const std::string& compdb_path, const std::vector<std::string>& files,
+                      std::vector<Finding>* findings) {
+  CXIndex index = clang_createIndex(/*excludeDeclarationsFromPCH=*/1,
+                                    /*displayDiagnostics=*/0);
+  CXCompilationDatabase db = nullptr;
+  if (!compdb_path.empty()) {
+    // libclang wants the *directory* holding compile_commands.json.
+    std::string dir = compdb_path;
+    const std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    CXCompilationDatabase_Error err = CXCompilationDatabase_NoError;
+    db = clang_CompilationDatabase_fromDirectory(dir.c_str(), &err);
+    if (err != CXCompilationDatabase_NoError) db = nullptr;
+  }
+
+  int parsed = 0;
+  for (const std::string& file : files) {
+    if (file.size() < 4 || file.compare(file.size() - 4, 4, ".cpp") != 0) continue;
+
+    std::vector<std::string> arg_storage;
+    if (db != nullptr) {
+      CXCompileCommands cmds =
+          clang_CompilationDatabase_getCompileCommands(db, file.c_str());
+      if (clang_CompileCommands_getSize(cmds) > 0) {
+        CXCompileCommand cmd = clang_CompileCommands_getCommand(cmds, 0);
+        const unsigned n = clang_CompileCommand_getNumArgs(cmd);
+        // Drop argv[0] (the compiler) and the trailing source file.
+        for (unsigned i = 1; i + 1 < n; ++i) {
+          arg_storage.push_back(cx_to_string(clang_CompileCommand_getArg(cmd, i)));
+        }
+      }
+      clang_CompileCommands_dispose(cmds);
+    }
+    if (arg_storage.empty()) arg_storage = {"-std=c++20", "-Isrc"};
+
+    std::vector<const char*> args;
+    args.reserve(arg_storage.size());
+    for (const std::string& a : arg_storage) args.push_back(a.c_str());
+
+    CXTranslationUnit tu = nullptr;
+    const CXErrorCode rc = clang_parseTranslationUnit2(
+        index, file.c_str(), args.data(), static_cast<int>(args.size()), nullptr, 0,
+        CXTranslationUnit_None, &tu);
+    if (rc != CXError_Success || tu == nullptr) {
+      std::cerr << "rsf-lint (libclang): failed to parse " << file << "\n";
+      continue;
+    }
+    VisitCtx ctx{findings, file};
+    clang_visitChildren(clang_getTranslationUnitCursor(tu), visit, &ctx);
+    clang_disposeTranslationUnit(tu);
+    ++parsed;
+  }
+
+  if (db != nullptr) clang_CompilationDatabase_dispose(db);
+  clang_disposeIndex(index);
+  std::cerr << "rsf-lint (libclang): cross-checked " << parsed << " TUs\n";
+  return 0;
+}
+
+}  // namespace rsflint

@@ -1,0 +1,261 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace rsflint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Parse an `rsf-lint:` comment body into an annotation. `text` is
+/// the comment's content (without the // or /* */ markers).
+bool parse_annotation(const std::string& text, int line, Annotation* out) {
+  const std::string tag = "rsf-lint:";
+  const std::size_t at = text.find(tag);
+  if (at == std::string::npos) return false;
+  out->comment_line = line;
+  std::size_t i = at + tag.size();
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  std::size_t d0 = i;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '-')) {
+    ++i;
+  }
+  out->directive = text.substr(d0, i - d0);
+  // Reason: everything between the first '(' after the directive and
+  // the last ')' in the comment, trimmed. A directive without a
+  // non-empty reason is malformed — the contract requires the "why".
+  const std::size_t open = text.find('(', i);
+  const std::size_t close = text.rfind(')');
+  if (out->directive.empty() || open == std::string::npos || close == std::string::npos ||
+      close <= open) {
+    out->malformed = true;
+    return true;
+  }
+  std::string reason = text.substr(open + 1, close - open - 1);
+  const std::size_t b = reason.find_first_not_of(" \t");
+  const std::size_t e = reason.find_last_not_of(" \t");
+  out->reason = b == std::string::npos ? "" : reason.substr(b, e - b + 1);
+  out->malformed = out->reason.empty();
+  return true;
+}
+
+}  // namespace
+
+std::string normalize_ws(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_ws = true;  // leading whitespace dropped
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!in_ws) out.push_back(' ');
+      in_ws = true;
+    } else {
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+const std::string& SourceFile::line_text(int line) const {
+  static const std::string empty;
+  if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return empty;
+  return lines[static_cast<std::size_t>(line) - 1];
+}
+
+bool SourceFile::has_annotation(const std::string& directive, int line) const {
+  for (const Annotation& a : annotations) {
+    if (a.malformed) continue;
+    if (a.directive != directive) continue;
+    if (a.comment_line == line || a.code_line == line) return true;
+  }
+  return false;
+}
+
+bool SourceFile::lex(const std::string& content) {
+  lines.clear();
+  tokens.clear();
+  annotations.clear();
+  {
+    std::string cur;
+    for (char c : content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) lines.push_back(cur);
+  }
+
+  // Annotations whose code_line is still unknown: index into
+  // `annotations`, resolved when the next token lands.
+  std::vector<std::size_t> pending;
+
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_token = false;  // for preprocessor detection
+
+  auto push = [&](Token::Kind kind, std::string text, int at_line) {
+    tokens.push_back(Token{kind, std::move(text), at_line});
+    for (std::size_t idx : pending) annotations[idx].code_line = at_line;
+    pending.clear();
+    line_has_token = true;
+  };
+  auto note_comment = [&](const std::string& text, int at_line) {
+    Annotation a;
+    if (parse_annotation(text, at_line, &a)) {
+      annotations.push_back(a);
+      pending.push_back(annotations.size() - 1);
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      line_has_token = false;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: '#' first on its line; swallow through
+    // any backslash continuations.
+    if (c == '#' && !line_has_token) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && content[j] != '\n') ++j;
+      note_comment(content.substr(i + 2, j - i - 2), line);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) {
+        if (content[j] == '\n') ++line;
+        ++j;
+      }
+      note_comment(content.substr(i + 2, j - i - 2), start_line);
+      i = j + 2 > n ? n : j + 2;
+      continue;
+    }
+    // String literal (escape-aware).
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && content[j] != '"') {
+        if (content[j] == '\\' && j + 1 < n) {
+          text.push_back(content[j]);
+          text.push_back(content[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (content[j] == '\n') ++line;  // unterminated; keep going
+        text.push_back(content[j]);
+        ++j;
+      }
+      push(Token::Kind::String, text, line);
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && content[j] != '\'') {
+        if (content[j] == '\\' && j + 1 < n) {
+          j += 2;
+          text.push_back('\\');
+          continue;
+        }
+        if (content[j] == '\n') break;
+        text.push_back(content[j]);
+        ++j;
+      }
+      push(Token::Kind::CharLit, text, line);
+      i = j < n && content[j] == '\'' ? j + 1 : j;
+      continue;
+    }
+    // Number (handles 1'000, 0x1F, 1e-9, 1.5f).
+    if (digit(c) || (c == '.' && i + 1 < n && digit(content[i + 1]))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = content[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = content[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      push(Token::Kind::Number, content.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    // Identifier — with the raw-string special case: R"delim(...)delim"
+    // (and its L/u/U/u8 spellings) must not let the payload leak into
+    // the token stream as punctuation.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(content[j])) ++j;
+      std::string word = content.substr(i, j - i);
+      const bool raw_prefix = word == "R" || word == "LR" || word == "uR" || word == "UR" ||
+                              word == "u8R";
+      if (raw_prefix && j < n && content[j] == '"') {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && content[k] != '(' && content[k] != '\n') delim.push_back(content[k++]);
+        const std::string closer = ")" + delim + "\"";
+        std::size_t body_start = k < n ? k + 1 : n;
+        std::size_t end = content.find(closer, body_start);
+        if (end == std::string::npos) end = n;
+        for (std::size_t p = j; p < end && p < n; ++p) {
+          if (content[p] == '\n') ++line;
+        }
+        push(Token::Kind::String, content.substr(body_start, end - body_start), line);
+        i = end == n ? n : end + closer.size();
+        continue;
+      }
+      push(Token::Kind::Ident, std::move(word), line);
+      i = j;
+      continue;
+    }
+    // Everything else: single-character punctuation ("::" arrives as
+    // two ':' tokens; the rules match on neighbors where it matters).
+    push(Token::Kind::Punct, std::string(1, c), line);
+    ++i;
+  }
+  tokens.push_back(Token{Token::Kind::End, "", line});
+  return true;
+}
+
+}  // namespace rsflint
